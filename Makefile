@@ -1,0 +1,44 @@
+# Development targets for the Borg MOEA scalability reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench experiments examples smoke clean
+
+install:
+	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table and figure at CI scale (minutes each).
+experiments:
+	$(PYTHON) -m repro.experiments.timelines
+	$(PYTHON) -m repro.experiments.bounds
+	$(PYTHON) -m repro.experiments.table2 --scale ci
+	$(PYTHON) -m repro.experiments.speedup --scale ci
+	$(PYTHON) -m repro.experiments.efficiency_surface
+	$(PYTHON) -m repro.experiments.ablation
+	$(PYTHON) -m repro.experiments.dynamics --scale smoke
+
+# Fast shape-check of every experiment (seconds each).
+smoke:
+	$(PYTHON) -m repro.experiments.timelines
+	$(PYTHON) -m repro.experiments.bounds
+	$(PYTHON) -m repro.experiments.table2 --scale smoke
+	$(PYTHON) -m repro.experiments.speedup --scale smoke
+
+examples:
+	$(PYTHON) examples/quickstart.py --nfe 5000
+	$(PYTHON) examples/aircraft_design.py --nfe 4000
+	$(PYTHON) examples/lake_management.py --nfe 6000
+	$(PYTHON) examples/scalability_study.py --nfe 3000
+	$(PYTHON) examples/topology_design.py --nfe 4000
+	$(PYTHON) examples/algorithm_comparison.py --nfe 4000
+	$(PYTHON) examples/wfg_suite_tour.py --nfe 3000
+
+clean:
+	rm -rf .pytest_cache .benchmarks build dist src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure of the
+paper at reduced ("smoke") scale and benchmarks the regeneration, so
+``pytest benchmarks/ --benchmark-only`` both times the harness and
+prints the rows/series the paper reports.  Full-scale regeneration is
+``python -m repro.experiments.<name> --scale ci|paper``.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The operating grid used by the benchmark-level regenerations."""
+    return ExperimentScale(
+        name="bench",
+        nfe=1_000,
+        replicates=1,
+        processors=(16, 64, 256),
+        tf_values=(0.001, 0.01),
+        problems=("DTLZ2",),
+        snapshot_interval=100,
+        hv_samples=4_000,
+    )

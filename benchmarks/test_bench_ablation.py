@@ -1,0 +1,42 @@
+"""Benchmark: §VI-B variance ablations (sync stragglers vs async)."""
+
+from repro.experiments import ablation
+from repro.experiments.reporting import format_table
+
+
+def test_bench_tf_variance_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablation.tf_variance_sweep,
+        kwargs=dict(processors=16, nfe=1500, cvs=(0.0, 0.25, 1.0), seed=1),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ("TF CV", "sync eff", "async eff", "sync eff (analytic)"),
+            [r.as_tuple() for r in rows],
+            title="TF-variance ablation (bench scale)",
+        )
+    )
+    # §VI-B: sync declines with variance, async barely moves.
+    assert rows[-1].sync_efficiency < rows[0].sync_efficiency
+    assert rows[-1].async_efficiency > 0.8 * rows[0].async_efficiency
+
+
+def test_bench_ta_variance_ablation(benchmark):
+    rows = benchmark.pedantic(
+        ablation.ta_variance_sweep,
+        kwargs=dict(nfe=1500, cvs=(0.0, 1.0), seed=1),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ("TA CV", "elapsed", "master util", "mean wait (us)", "max queue"),
+            rows,
+            title="TA-variance ablation (bench scale)",
+        )
+    )
+    assert len(rows) == 2

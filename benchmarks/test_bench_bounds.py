@@ -1,0 +1,26 @@
+"""Benchmark: Equations 3-4 bounds tables."""
+
+import pytest
+
+from repro.experiments import bounds
+from repro.experiments.reporting import format_table
+
+
+def test_bench_bounds_table(benchmark):
+    """Regenerate the full bounds grid (42 rows) and print it."""
+    rows = benchmark(bounds.generate)
+    assert len(rows) == 42
+    print()
+    print(
+        format_table(
+            bounds.HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Processor-count bounds (Eqs. 3-4)",
+        )
+    )
+    # §VI worked example: DTLZ2, TF=0.01, P=128 anchor -> P_UB ~ 244.
+    example = next(
+        r for r in rows
+        if r.problem == "DTLZ2" and r.tf == 0.01 and r.processors == 128
+    )
+    assert example.upper_bound == pytest.approx(243.9, abs=0.1)

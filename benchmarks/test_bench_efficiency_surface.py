@@ -1,0 +1,63 @@
+"""Benchmark: Figure 5 regeneration (sync vs async efficiency surface)."""
+
+import numpy as np
+
+from repro.experiments import efficiency_surface
+from repro.experiments.reporting import ascii_heatmap
+
+
+def test_bench_efficiency_surface(benchmark):
+    """Regenerate both Figure 5 panels on a reduced grid; print them."""
+    tf_values = (1e-3, 1e-2, 1e-1, 1.0)
+    processors = (2, 16, 128, 1024, 8192)
+    surfaces = benchmark.pedantic(
+        efficiency_surface.generate,
+        kwargs=dict(
+            tf_values=tf_values,
+            processors=processors,
+            nfe=1500,
+            seed=20130520,
+            verbose=False,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    row_labels = [f"{tf:.0e}" for tf in tf_values][::-1]
+    col_labels = [str(p) for p in processors]
+    print()
+    print(
+        ascii_heatmap(
+            surfaces.synchronous[::-1], row_labels, col_labels,
+            title="Figure 5(a) synchronous efficiency (bench grid)",
+        )
+    )
+    print()
+    print(
+        ascii_heatmap(
+            surfaces.asynchronous[::-1], row_labels, col_labels,
+            title="Figure 5(b) asynchronous efficiency (bench grid)",
+        )
+    )
+
+    # The paper's claims on this grid:
+    # async needs P >= ~16 to be efficient (master does not evaluate) ...
+    i_tf01 = tf_values.index(1e-1)
+    assert surfaces.asynchronous[i_tf01, 0] < 0.6
+    # ... but extends the efficient region to larger P than sync.
+    reach = surfaces.max_efficient_processors(threshold=0.9)
+    assert reach["async"][1e-1] >= reach["sync"][1e-1]
+    assert reach["async"][1.0] > reach["sync"][1.0] or (
+        reach["sync"][1.0] == max(processors)
+    )
+
+
+def test_bench_async_prediction_point(benchmark):
+    """Time one async-efficiency cell (simulation model + extrapolation)."""
+    from repro.models.simmodel import predict_async_time
+    from repro.stats import constant_timing
+
+    timing = constant_timing(tf=0.01, tc=6e-5, ta=6e-6)
+    tp = benchmark(
+        predict_async_time, 1024, 200_000, timing, 1, 4096
+    )
+    assert tp > 0

@@ -1,0 +1,43 @@
+"""Benchmark: worker-churn ablation (extension; see DESIGN.md §7)."""
+
+from repro.experiments.reporting import format_table
+from repro.models import simulate_async, simulate_async_with_failures
+from repro.stats import constant_timing
+
+
+def test_bench_failure_sweep(benchmark):
+    """Throughput degradation vs worker MTBF; prints the churn table."""
+    timing = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+    nfe, P = 2000, 16
+
+    def sweep():
+        base = simulate_async(P, nfe, timing, seed=1)
+        rows = [("inf", round(base.elapsed, 3), 0, 0, float(P - 1))]
+        for mtbf in (2.0, 0.5, 0.1):
+            out = simulate_async_with_failures(
+                P, nfe, timing, mtbf=mtbf, repair=0.25, seed=1
+            )
+            rows.append(
+                (
+                    mtbf,
+                    round(out.elapsed, 3),
+                    out.failures,
+                    out.recoveries,
+                    round(out.mean_live_workers, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ("MTBF (s)", "elapsed (s)", "failures", "recoveries", "mean live"),
+            rows,
+            title="Asynchronous master-slave under worker churn "
+            "(P=16, TF=0.01s, repair=0.25s)",
+        )
+    )
+    # Graceful degradation: more churn -> slower, but the run completes.
+    elapsed = [r[1] for r in rows]
+    assert elapsed == sorted(elapsed)

@@ -1,0 +1,49 @@
+"""Benchmark: Figures 3-4 regeneration (hypervolume-threshold speedup)."""
+
+import numpy as np
+
+from repro.experiments import speedup
+from repro.experiments.reporting import format_table
+
+
+def test_bench_speedup_surface_dtlz2(benchmark, bench_scale):
+    """Regenerate one Figure 3 subplot (DTLZ2, one TF) and print it."""
+    thresholds = (0.05, 0.1, 0.15, 0.2, 0.25)
+    surface = benchmark.pedantic(
+        speedup.generate,
+        args=(bench_scale, "DTLZ2", 0.01),
+        kwargs={"seed": 20130520, "thresholds": thresholds, "verbose": False},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    headers = ("Problem", "TF", "P") + tuple(f"h={h:g}" for h in thresholds)
+    print(
+        format_table(
+            headers, surface.as_rows(),
+            title="Figure 3 data (bench scale, DTLZ2, TF=0.01)",
+        )
+    )
+    S = surface.speedups
+    finite = S[~np.isnan(S)]
+    assert finite.size > 0
+    assert np.all(finite > 0)
+
+
+def test_bench_hypervolume_trajectory(benchmark, bench_scale):
+    """Time the HV-trajectory computation that dominates Figs. 3-4."""
+    from repro.core import BorgConfig, BorgMOEA
+    from repro.core.events import RunHistory
+    from repro.indicators import NormalizedHypervolume
+    from repro.indicators.dynamics import hypervolume_trajectory
+    from repro.problems import DTLZ2
+
+    history = RunHistory(snapshot_interval=100)
+    BorgMOEA(
+        DTLZ2(nobjs=5), BorgConfig(initial_population_size=100), seed=1
+    ).run(bench_scale.nfe, history=history)
+    metric = NormalizedHypervolume(
+        DTLZ2(nobjs=5), method="monte-carlo", samples=bench_scale.hv_samples
+    )
+    times, values = benchmark(hypervolume_trajectory, history, metric)
+    assert values[-1] > 0.0

@@ -1,0 +1,42 @@
+"""Benchmark: Table II regeneration (experiment vs both models).
+
+Prints the table rows at bench scale and times one full operating-point
+evaluation (virtual experiment + analytical + simulation model).
+"""
+
+from repro.experiments import table2
+from repro.experiments.reporting import format_table
+
+
+def test_bench_table2_row(benchmark, bench_scale):
+    """Time one Table II operating point end to end."""
+    row = benchmark(
+        table2.run_point, "DTLZ2", 0.01, 64, bench_scale, 20130520
+    )
+    assert row.simulation_error < 0.25
+    assert row.processors == 64
+
+
+def test_bench_table2_full_grid(benchmark, bench_scale):
+    """Regenerate every row of the (bench-scale) table; print it."""
+    rows = benchmark.pedantic(
+        table2.generate,
+        args=(bench_scale,),
+        kwargs={"seed": 20130520, "verbose": False},
+        iterations=1,
+        rounds=1,
+    )
+    assert len(rows) == len(list(bench_scale.iter_points()))
+    print()
+    print(
+        format_table(
+            table2.HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Table II (bench scale)",
+        )
+    )
+    # The paper's shape: the analytical model degrades with P at small
+    # TF while the simulation model stays accurate.
+    small_tf = [r for r in rows if r.tf == 0.001]
+    assert small_tf[-1].analytical_error > small_tf[0].analytical_error
+    assert all(r.simulation_error < 0.25 for r in rows)

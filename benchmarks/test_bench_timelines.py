@@ -1,0 +1,21 @@
+"""Benchmark: Figures 1-2 regeneration (sync vs async timelines)."""
+
+from repro.experiments import timelines
+
+
+def test_bench_timelines(benchmark):
+    """Regenerate both schematic timelines and print them."""
+    comparison = benchmark(timelines.generate, 4, 12, 4.0, 0.4, 1.0, 1)
+    print()
+    print("Figure 1 (synchronous):")
+    print(comparison.sync_render)
+    print()
+    print("Figure 2 (asynchronous):")
+    print(comparison.async_render)
+    print(
+        f"\nworker idle: sync {comparison.sync_worker_idle:.0%} vs "
+        f"async {comparison.async_worker_idle:.0%} "
+        f"({comparison.idle_reduction:.0%} reduction)"
+    )
+    assert comparison.async_worker_idle < comparison.sync_worker_idle
+    assert comparison.async_elapsed <= comparison.sync_elapsed

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Constrained engineering design: general-aviation aircraft sizing.
+
+The paper motivates the parallel Borg MOEA with Hadka et al.'s general
+aviation aircraft study, where competing optimisers struggled to find
+feasible designs at all.  This example runs Borg on the synthetic
+aircraft-design problem (9 variables, 5 objectives, 9 requirements) on
+the *thread-backed* master-slave -- real local parallelism over the
+same master/worker protocol as the paper's MPI code.
+
+    python examples/aircraft_design.py [--nfe 8000] [--workers 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import BorgConfig
+from repro.parallel import run_threaded_master_slave
+from repro.problems import AircraftDesign
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nfe", type=int, default=8_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    problem = AircraftDesign()
+    print(f"Problem: {problem}")
+    rng = np.random.default_rng(0)
+    feasible = sum(
+        problem.evaluate(problem.random_solution(rng)).feasible
+        for _ in range(500)
+    )
+    print(f"Random sampling feasibility: {feasible}/500 designs "
+          f"(the requirements bite)\n")
+
+    problem = AircraftDesign()  # fresh evaluation counter for the run
+    result = run_threaded_master_slave(
+        problem,
+        processors=args.workers + 1,
+        max_nfe=args.nfe,
+        config=BorgConfig(initial_population_size=100),
+        seed=args.seed,
+    )
+
+    archive = result.borg.archive
+    n_feasible = sum(s.feasible for s in archive)
+    print(f"Elapsed: {result.elapsed:.2f}s wall on {args.workers} workers "
+          f"({result.nfe} evaluations)")
+    print(f"Archive: {len(archive)} designs, {n_feasible} feasible")
+    print(f"Worker loads: {result.worker_evaluations.tolist()}\n")
+
+    feasible_designs = [s for s in archive if s.feasible]
+    if not feasible_designs:
+        print("No feasible design found -- increase --nfe.")
+        return
+
+    print("Selected Pareto-efficient designs (trade-off corners):")
+    F = np.array([s.objectives for s in feasible_designs])
+    labels = AircraftDesign.OBJECTIVE_NAMES
+    for j, label in enumerate(labels):
+        best = feasible_designs[int(np.argmin(F[:, j]))]
+        fuel, noise, cost, neg_range, neg_climb = best.objectives
+        print(
+            f"  best {label:>14}: fuel {fuel:6.1f} lb/hr | "
+            f"noise {noise:5.1f} dB | cost ${cost:5.0f}k | "
+            f"range {-neg_range:6.0f} nm | climb {-neg_climb:6.0f} fpm"
+        )
+
+    print("\nDecision variables of the best-range design:")
+    best_range = feasible_designs[int(np.argmin(F[:, 3]))]
+    for name, value in zip(AircraftDesign.VARIABLE_NAMES, best_range.variables):
+        print(f"  {name:>15}: {value:8.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Borg vs MOEA/D vs NSGA-II: why the paper parallelises *Borg* (§II).
+
+The study's premise is that the Borg MOEA "outperforms competing
+optimization methods on numerous complex engineering problems", citing
+cases where generational MOEAs struggled.  This example reruns that
+comparison at laptop scale: equal evaluation budgets on the paper's two
+benchmarks, judged by normalised hypervolume and IGD against the
+analytic reference sets.
+
+    python examples/algorithm_comparison.py [--nfe 10000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import MOEAD, BorgConfig, BorgMOEA, NSGAII
+from repro.indicators import (
+    NormalizedHypervolume,
+    inverted_generational_distance,
+    reference_set_for,
+)
+from repro.problems import DTLZ2, UF11
+
+
+def compare_on(
+    problem_factory, name: str, nfe: int, seed: int, replicates: int = 1
+) -> None:
+    problem = problem_factory()
+    metric = NormalizedHypervolume(problem, method="monte-carlo", samples=30_000)
+    refset = reference_set_for(problem)
+
+    hv = {"Borg": [], "MOEA/D": [], "NSGA-II": []}
+    igd = {"Borg": [], "MOEA/D": [], "NSGA-II": []}
+    sizes = {}
+    for rep in range(replicates):
+        runs = {
+            "Borg": BorgMOEA(
+                problem_factory(), BorgConfig(initial_population_size=100),
+                seed=seed + rep,
+            ).run(nfe),
+            "MOEA/D": MOEAD(problem_factory(), seed=seed + rep).run(nfe),
+            "NSGA-II": NSGAII(
+                problem_factory(), population_size=100, seed=seed + rep
+            ).run(nfe),
+        }
+        for algo, run in runs.items():
+            hv[algo].append(metric(run.objectives))
+            igd[algo].append(
+                inverted_generational_distance(run.objectives, refset)
+            )
+            sizes[algo] = len(run.objectives)
+
+    print(f"\n{name} (5 objectives, N = {nfe}, {replicates} replicate(s)):")
+    print(f"  {'algorithm':>8} | {'hypervolume':>11} | {'IGD':>7} | front size")
+    print(f"  {'-' * 48}")
+    for algo in ("Borg", "MOEA/D", "NSGA-II"):
+        print(f"  {algo:>8} | {np.median(hv[algo]):11.3f} | "
+              f"{np.median(igd[algo]):7.4f} | {sizes[algo]:>6}")
+    if replicates >= 5:
+        from repro.stats import compare_samples
+
+        result = compare_samples(hv["Borg"], hv["MOEA/D"])
+        print(f"  Mann-Whitney Borg vs MOEA/D on hypervolume: {result}")
+    medians = {algo: np.median(hv[algo]) for algo in hv}
+    winner = max(medians, key=medians.get)
+    runner_up = sorted(medians.values())[-2]
+    factor = medians[winner] / max(1e-9, runner_up)
+    print(f"  -> {winner} leads the runner-up by {factor:.1f}x hypervolume")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nfe", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--replicates", type=int, default=1,
+                        help=">= 5 adds a Mann-Whitney significance test")
+    args = parser.parse_args()
+
+    print("Borg vs MOEA/D vs NSGA-II at equal budget (higher hypervolume / lower IGD "
+          "is better; 1.0 hypervolume = true front)")
+    compare_on(lambda: DTLZ2(nobjs=5), "DTLZ2 (easy, separable)",
+               args.nfe, args.seed, args.replicates)
+    compare_on(lambda: UF11(), "UF11 (hard, rotated)",
+               args.nfe, args.seed, args.replicates)
+    print(
+        "\nMany-objective problems overwhelm plain Pareto-rank selection; "
+        "Borg's ε-dominance archive and adaptive operators keep pressure "
+        "toward the front -- the reason the paper invests in scaling Borg."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Tour of the WFG toolkit: one optimiser, nine pathologies.
+
+Runs the Borg MOEA across the full WFG suite (Huband et al. 2006) at a
+fixed budget and reports normalised hypervolume, IGD against each
+problem's analytic front, and which variation operator the
+auto-adaptation favoured -- showing how Borg re-tailors itself as the
+problem switches between bias, deception, multi-modality and
+non-separability.
+
+    python examples/wfg_suite_tour.py [--nfe 5000] [--nobjs 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import BorgConfig, BorgEngine, DiagnosticCollector
+from repro.indicators import (
+    NormalizedHypervolume,
+    inverted_generational_distance,
+    reference_set_for,
+)
+from repro.problems import WFG1, WFG2, WFG3, WFG4, WFG5, WFG6, WFG7, WFG8, WFG9
+
+SUITE = (
+    (WFG1, "bias + flat region"),
+    (WFG2, "non-separable, disconnected"),
+    (WFG3, "degenerate linear front"),
+    (WFG4, "multi-modal"),
+    (WFG5, "deceptive"),
+    (WFG6, "non-separable reduction"),
+    (WFG7, "position-dependent bias"),
+    (WFG8, "distance-dependent bias"),
+    (WFG9, "all of the above"),
+)
+
+
+def run_one(cls, nobjs: int, nfe: int, seed: int):
+    problem = cls(nobjs=nobjs)
+    engine = BorgEngine(
+        problem,
+        BorgConfig(initial_population_size=100),
+        rng=np.random.default_rng(seed),
+    )
+    diag = DiagnosticCollector(interval=200).attach(engine)
+    while engine.nfe < nfe:
+        candidate = engine.next_candidate()
+        problem.evaluate(candidate)
+        engine.ingest(candidate)
+    F = engine.archive.objectives
+
+    try:
+        hv = NormalizedHypervolume(problem, method="monte-carlo", samples=20_000)(F)
+        hv_str = f"{hv:5.3f}"
+    except KeyError:
+        hv_str = "  n/a"  # WFG1/WFG2 fronts have no closed-form ideal
+    try:
+        igd = inverted_generational_distance(F, reference_set_for(problem))
+        igd_str = f"{igd:7.3f}"
+    except KeyError:
+        igd_str = "    n/a"
+    return len(F), hv_str, igd_str, diag.dominant_operator(), len(diag.restarts)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nfe", type=int, default=5_000)
+    parser.add_argument("--nobjs", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=4)
+    args = parser.parse_args()
+
+    print(f"Borg MOEA on the WFG suite ({args.nobjs} objectives, "
+          f"N = {args.nfe}; hypervolume: 1.0 = true front)\n")
+    print(f"{'problem':>8} | {'pathology':<28} | {'front':>5} | {'hv':>5} | "
+          f"{'IGD':>7} | {'top op':>6} | restarts")
+    print("-" * 86)
+    for cls, pathology in SUITE:
+        size, hv, igd, op, restarts = run_one(
+            cls, args.nobjs, args.nfe, args.seed
+        )
+        print(f"{cls.__name__:>8} | {pathology:<28} | {size:>5} | {hv} | "
+              f"{igd} | {op:>6} | {restarts:>8}")
+    print(
+        "\nNote how the dominant operator shifts with the pathology -- "
+        "rotationally invariant operators (PCX/SPX/UNDX) on the "
+        "non-separable problems, SBX on the separable ones.  This is the "
+        "auto-adaptation the paper's §II describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Offline fallback: this environment has no `wheel` package, so PEP 660
+# editable installs (pip install -e .) fail; `python setup.py develop`
+# installs the same editable package without needing wheel.
+setup()

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``solve`` -- run the Borg MOEA on a named problem with any backend;
+* ``experiment`` -- regenerate a table/figure by name;
+* ``fit`` -- fit timing samples to candidate distributions (the R
+  ``fitdistr`` workflow of paper §IV-B);
+* ``bounds`` -- evaluate Eqs. 3-4 for a custom (TF, TC, TA) point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_PROBLEMS = {
+    "dtlz1": lambda: _problems().DTLZ1(nobjs=3),
+    "dtlz2": lambda: _problems().DTLZ2(nobjs=5),
+    "dtlz3": lambda: _problems().DTLZ3(nobjs=5),
+    "dtlz4": lambda: _problems().DTLZ4(nobjs=5),
+    "uf1": lambda: _problems().UF1(),
+    "uf2": lambda: _problems().UF2(),
+    "uf7": lambda: _problems().UF7(),
+    "uf8": lambda: _problems().UF8(),
+    "uf11": lambda: _problems().UF11(),
+    "uf12": lambda: _problems().UF12(),
+    "uf13": lambda: _problems().UF13(),
+    "wfg1": lambda: _problems().WFG1(nobjs=3),
+    "wfg4": lambda: _problems().WFG4(nobjs=3),
+    "wfg9": lambda: _problems().WFG9(nobjs=3),
+    "zdt1": lambda: _problems().ZDT1(),
+    "zdt4": lambda: _problems().ZDT4(),
+    "aircraft": lambda: _problems().AircraftDesign(),
+    "lake": lambda: _problems().LakeProblem(),
+}
+
+_EXPERIMENTS = (
+    "table2",
+    "speedup",
+    "efficiency_surface",
+    "timelines",
+    "bounds",
+    "ablation",
+    "dynamics",
+)
+
+
+def _problems():
+    import repro.problems as mod
+
+    return mod
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asynchronous master-slave Borg MOEA reproduction "
+        "(Hadka, Madduri & Reed, IPDPSW 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run the Borg MOEA on a problem")
+    solve.add_argument("--problem", choices=sorted(_PROBLEMS), default="dtlz2")
+    solve.add_argument("--nfe", type=int, default=10_000)
+    solve.add_argument(
+        "--backend",
+        choices=(
+            "serial", "virtual-async", "virtual-sync", "threads", "processes",
+        ),
+        default="serial",
+    )
+    solve.add_argument("--processors", type=int, default=8)
+    solve.add_argument("--tf", type=float, default=0.01,
+                       help="mean TF for virtual backends (seconds)")
+    solve.add_argument("--seed", type=int, default=None)
+
+    exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+    exp.add_argument("args", nargs=argparse.REMAINDER,
+                     help="arguments forwarded to the experiment module")
+
+    fit = sub.add_parser(
+        "fit", help="fit timing samples (CSV/whitespace file, one value "
+        "per line) to candidate distributions"
+    )
+    fit.add_argument("path", help="file of timing samples, or '-' for stdin")
+
+    bounds = sub.add_parser("bounds", help="Eqs. 3-4 for custom times")
+    bounds.add_argument("--tf", type=float, required=True)
+    bounds.add_argument("--tc", type=float, default=6e-6)
+    bounds.add_argument("--ta", type=float, required=True)
+    bounds.add_argument("--batch", type=int, default=1)
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    from repro.indicators.refsets import NormalizedHypervolume
+    from repro.parallel import optimize
+    from repro.stats import ranger_timing, constant_timing
+
+    problem = _PROBLEMS[args.problem]()
+    timing = None
+    if args.backend.startswith("virtual"):
+        try:
+            timing = ranger_timing(
+                problem.name, max(args.processors, 2), args.tf
+            )
+        except KeyError:
+            timing = constant_timing(tf=args.tf, tc=6e-6, ta=30e-6)
+
+    print(f"Solving {problem} with backend={args.backend} "
+          f"(N={args.nfe}, P={args.processors})")
+    result = optimize(
+        problem,
+        args.nfe,
+        backend=args.backend,
+        processors=args.processors,
+        timing=timing,
+        seed=args.seed,
+    )
+    borg = result if hasattr(result, "archive") else result.borg
+    print(f"Archive: {len(borg.archive)} solutions, "
+          f"{borg.restarts} restarts, NFE {borg.nfe}")
+    if hasattr(result, "elapsed"):
+        unit = "virtual s" if args.backend.startswith("virtual") else "s"
+        print(f"Elapsed: {result.elapsed:.4g} {unit}")
+    try:
+        metric = NormalizedHypervolume(
+            problem, method="monte-carlo", samples=20_000
+        )
+        print(f"Normalised hypervolume: {metric(borg.objectives):.3f}")
+    except KeyError:
+        pass  # no analytic ideal for this problem
+    print("Operator probabilities:",
+          {k: round(v, 3) for k, v in borg.operator_probabilities.items()})
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main(args.args)
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.stats import fit_best
+
+    if args.path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.path) as fh:
+            raw = fh.read()
+    data = np.array(
+        [float(tok) for tok in raw.replace(",", " ").split() if tok.strip()]
+    )
+    print(f"{data.size} samples: mean={data.mean():.6g} "
+          f"std={data.std(ddof=1):.3g} cv={data.std(ddof=1) / data.mean():.3g}")
+    results = fit_best(data)
+    print(f"\n{'family':>12} | {'loglik':>12} | {'AIC':>12} | parameters")
+    print("-" * 60)
+    for r in results:
+        print(f"{r.name:>12} | {r.loglik:12.2f} | {r.aic:12.2f} | {r.distribution!r}")
+    print(f"\nBest fit by log-likelihood: {results[0].name}")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    from repro.models import processor_lower_bound, processor_upper_bound
+
+    pub = processor_upper_bound(args.tf, args.tc, args.ta, batch=args.batch)
+    plb = processor_lower_bound(args.tf, args.tc, args.ta)
+    print(f"TF={args.tf:g}s TC={args.tc:g}s TA={args.ta:g}s batch={args.batch}")
+    print(f"P_UB (Eq. 3): {pub:.1f} workers before master saturation")
+    print(f"P_LB (Eq. 4): more than {plb:.3f} processors to beat serial")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "solve": _cmd_solve,
+        "experiment": _cmd_experiment,
+        "fit": _cmd_fit,
+        "bounds": _cmd_bounds,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Virtual-cluster substrate: machine specs (the Ranger stand-in),
+latency models, and execution timelines."""
+
+from .machine import MachineSpec, laptop, ranger
+from .network import (
+    ConstantLatency,
+    DistributionLatency,
+    LatencyModel,
+    TopologyLatency,
+)
+from .trace import KIND_ORDER, Span, Timeline
+
+__all__ = [
+    "MachineSpec",
+    "ranger",
+    "laptop",
+    "LatencyModel",
+    "ConstantLatency",
+    "DistributionLatency",
+    "TopologyLatency",
+    "Timeline",
+    "Span",
+    "KIND_ORDER",
+]

@@ -1,0 +1,94 @@
+"""Virtual machine descriptions (the TACC Ranger substitute).
+
+The experiments do not need cycle-level hardware modelling -- the
+paper's observables depend on (P, TA, TC, TF) only -- but a machine
+spec keeps runs honest: processor counts are validated against the
+modelled system, and communication latency defaults derive from the
+interconnect description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "ranger", "laptop"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a (virtual) cluster.
+
+    Attributes mirror how the paper describes Ranger (§V): node count,
+    cores per node, per-core FLOPS and the measured point-to-point
+    latency of the interconnect.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    ghz: float
+    gflops_per_core: float
+    memory_per_node_gb: float
+    interconnect: str
+    #: One-way small-message latency in seconds (Ranger: 6 us measured).
+    latency_seconds: float
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def validate_processors(self, processors: int) -> None:
+        """Raise if a run requests more processors than the machine has."""
+        if processors < 2:
+            raise ValueError(
+                "master-slave runs need at least 2 processors "
+                "(one master plus one worker)"
+            )
+        if processors > self.total_cores:
+            raise ValueError(
+                f"{processors} processors requested but {self.name} has "
+                f"only {self.total_cores} cores"
+            )
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting a given rank (block distribution)."""
+        if rank < 0 or rank >= self.total_cores:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.cores_per_node
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.cores_per_node} cores "
+            f"({self.total_cores} total), {self.interconnect}, "
+            f"latency {self.latency_seconds * 1e6:.0f} us"
+        )
+
+
+def ranger() -> MachineSpec:
+    """TACC Ranger as described in paper §V: 3,936 16-way SMP nodes of
+    four quad-core 2.3 GHz Opterons (62,976 cores), Sun InfiniBand
+    DataCenter switches, TC measured at 6 microseconds."""
+    return MachineSpec(
+        name="TACC Ranger",
+        nodes=3936,
+        cores_per_node=16,
+        ghz=2.3,
+        gflops_per_core=9.2,
+        memory_per_node_gb=32.0,
+        interconnect="Sun InfiniBand DataCenter",
+        latency_seconds=6.0e-6,
+    )
+
+
+def laptop(cores: int = 8) -> MachineSpec:
+    """A small shared-memory box, for thread-backed demo runs."""
+    return MachineSpec(
+        name="laptop",
+        nodes=1,
+        cores_per_node=cores,
+        ghz=3.0,
+        gflops_per_core=20.0,
+        memory_per_node_gb=16.0,
+        interconnect="shared memory",
+        latency_seconds=1.0e-6,
+    )

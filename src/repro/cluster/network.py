@@ -1,0 +1,115 @@
+"""Communication-latency models for the virtual cluster.
+
+The paper measured a constant TC of 6 us on Ranger because every
+master/worker message has a fixed payload (decision variables one way,
+objectives the other).  :class:`ConstantLatency` reproduces that;
+:class:`DistributionLatency` allows stochastic fabrics; and
+:class:`TopologyLatency` distinguishes intra-node from inter-node hops
+for the hierarchical-topology extension.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..stats.distributions import Distribution
+from .machine import MachineSpec
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "DistributionLatency",
+    "TopologyLatency",
+]
+
+
+class LatencyModel(ABC):
+    """One-way message latency between two ranks."""
+
+    @abstractmethod
+    def sample(
+        self, rng: np.random.Generator, src: int = 0, dst: int = 1
+    ) -> float:
+        """Draw one latency value for a message src -> dst."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected latency (feeds the analytical model)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed latency regardless of endpoints (the paper's TC = 6 us)."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.seconds = float(seconds)
+
+    def sample(self, rng, src=0, dst=1):
+        return self.seconds
+
+    @property
+    def mean(self) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"<ConstantLatency {self.seconds * 1e6:.1f} us>"
+
+
+class DistributionLatency(LatencyModel):
+    """Latency drawn from an arbitrary distribution."""
+
+    def __init__(self, distribution: Distribution) -> None:
+        self.distribution = distribution
+
+    def sample(self, rng, src=0, dst=1):
+        return max(0.0, float(self.distribution.sample(rng)))
+
+    @property
+    def mean(self) -> float:
+        return self.distribution.mean
+
+    def __repr__(self) -> str:
+        return f"<DistributionLatency {self.distribution!r}>"
+
+
+class TopologyLatency(LatencyModel):
+    """Node-aware latency: cheap within a node, expensive across nodes.
+
+    Ranks are mapped to nodes by the machine spec's block distribution;
+    messages between ranks on the same node use ``intra_seconds``
+    (shared-memory transport), others ``inter_seconds`` (fabric).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        intra_seconds: float = 1.0e-6,
+        inter_seconds: float | None = None,
+    ) -> None:
+        if inter_seconds is None:
+            inter_seconds = machine.latency_seconds
+        if intra_seconds < 0 or inter_seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.machine = machine
+        self.intra_seconds = float(intra_seconds)
+        self.inter_seconds = float(inter_seconds)
+
+    def sample(self, rng, src=0, dst=1):
+        if self.machine.node_of(src) == self.machine.node_of(dst):
+            return self.intra_seconds
+        return self.inter_seconds
+
+    @property
+    def mean(self) -> float:
+        # Dominated by inter-node traffic for any sizeable P.
+        return self.inter_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<TopologyLatency intra={self.intra_seconds * 1e6:.1f}us "
+            f"inter={self.inter_seconds * 1e6:.1f}us>"
+        )

@@ -1,0 +1,105 @@
+"""Execution timelines: the data behind the paper's Figures 1 and 2.
+
+A :class:`Timeline` records labelled spans per actor ("master",
+"worker 1", ...).  The timelines experiment renders sync/async runs as
+ASCII Gantt charts directly comparable to the paper's figures, and the
+span totals quantify the idle-time reduction the figures illustrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Timeline", "KIND_ORDER"]
+
+#: Span kinds, matching the figures' legend.
+KIND_ORDER = ("tc", "ta", "tf", "idle")
+
+#: One ASCII glyph per span kind for the Gantt rendering.
+_GLYPHS = {"tc": "c", "ta": "A", "tf": "#", "idle": "."}
+
+
+@dataclass(frozen=True)
+class Span:
+    actor: str
+    start: float
+    end: float
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Collection of spans across actors over one run."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, actor: str, start: float, end: float, kind: str) -> None:
+        if end < start:
+            raise ValueError(f"span ends ({end}) before it starts ({start})")
+        if kind not in KIND_ORDER:
+            raise ValueError(f"unknown span kind {kind!r}; use one of {KIND_ORDER}")
+        self.spans.append(Span(actor, start, end, kind))
+
+    @property
+    def actors(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.actor, None)
+        return list(seen)
+
+    @property
+    def horizon(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def total(self, actor: str, kind: str) -> float:
+        """Total time ``actor`` spent in spans of ``kind``."""
+        return sum(s.duration for s in self.spans if s.actor == actor and s.kind == kind)
+
+    def busy(self, actor: str) -> float:
+        return sum(
+            s.duration for s in self.spans if s.actor == actor and s.kind != "idle"
+        )
+
+    def idle_fraction(self, actor: str, horizon: float | None = None) -> float:
+        """Fraction of the run the actor spent outside recorded busy spans."""
+        h = self.horizon if horizon is None else horizon
+        if h <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.busy(actor) / h)
+
+    def mean_worker_idle_fraction(self) -> float:
+        """Average idle fraction over worker actors (the quantity
+        Figures 1 vs 2 contrast)."""
+        workers = [a for a in self.actors if a != "master"]
+        if not workers:
+            return 0.0
+        return sum(self.idle_fraction(w) for w in workers) / len(workers)
+
+    # -- rendering -----------------------------------------------------------
+    def render(self, width: int = 100) -> str:
+        """ASCII Gantt chart: one row per actor, one glyph per time bin.
+
+        Legend: ``c`` = communication (TC), ``A`` = algorithm overhead
+        (TA), ``#`` = function evaluation (TF), ``.`` = idle.
+        """
+        horizon = self.horizon
+        if horizon <= 0 or not self.spans:
+            return "(empty timeline)"
+        lines = []
+        scale = width / horizon
+        for actor in self.actors:
+            row = ["."] * width
+            for s in self.spans:
+                if s.actor != actor or s.kind == "idle":
+                    continue
+                a = int(s.start * scale)
+                b = max(a + 1, int(round(s.end * scale)))
+                for i in range(a, min(b, width)):
+                    row[i] = _GLYPHS[s.kind]
+            lines.append(f"{actor:>10} |{''.join(row)}|")
+        legend = "legend: c=TC (communication)  A=TA (master overhead)  #=TF (evaluation)  .=idle"
+        return "\n".join(lines + [legend])

@@ -1,0 +1,57 @@
+"""Core Borg MOEA implementation (the paper's primary algorithm).
+
+Public surface: :class:`BorgMOEA` (serial driver), :class:`BorgEngine`
+(the candidate/ingest state machine shared with all parallel masters),
+:class:`BorgConfig`, the epsilon-dominance archive, the population, the
+operator ensemble and the adaptive machinery.
+"""
+
+from .adaptation import OperatorSelector
+from .archive import AddResult, EpsilonBoxArchive
+from .borg import BorgConfig, BorgEngine, BorgMOEA, BorgResult
+from .dominance import (
+    constrained_compare,
+    epsilon_box_compare,
+    epsilon_boxes,
+    nondominated_filter,
+    nondominated_mask,
+    pareto_compare,
+)
+from .diagnostics import DiagnosticCollector, RestartRecord
+from .events import RunHistory, Snapshot
+from .moead import MOEAD, MOEADResult, tchebycheff
+from .nsga2 import NSGA2Result, NSGAII, crowding_distance, fast_nondominated_sort
+from .population import Population
+from .restart import RestartController, RestartPlan
+from .solution import Solution
+
+__all__ = [
+    "Solution",
+    "Population",
+    "EpsilonBoxArchive",
+    "AddResult",
+    "OperatorSelector",
+    "RestartController",
+    "RestartPlan",
+    "BorgConfig",
+    "BorgEngine",
+    "BorgMOEA",
+    "BorgResult",
+    "RunHistory",
+    "Snapshot",
+    "NSGAII",
+    "NSGA2Result",
+    "MOEAD",
+    "MOEADResult",
+    "tchebycheff",
+    "fast_nondominated_sort",
+    "crowding_distance",
+    "DiagnosticCollector",
+    "RestartRecord",
+    "pareto_compare",
+    "constrained_compare",
+    "epsilon_boxes",
+    "epsilon_box_compare",
+    "nondominated_mask",
+    "nondominated_filter",
+]

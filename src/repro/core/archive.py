@@ -1,0 +1,228 @@
+"""Epsilon-dominance archive with epsilon-progress tracking (paper §II).
+
+The archive is the heart of the Borg MOEA: it stores the best
+epsilon-nondominated solutions found so far, detects search stagnation
+through its *epsilon-progress* counter, and supplies the per-operator
+contribution counts that drive auto-adaptive operator selection.
+
+Implementation note: box indices and objective vectors for all archive
+members are mirrored in growing NumPy matrices so that each ``add`` is a
+handful of vectorised comparisons rather than a Python loop over
+members (the archive is consulted once per function evaluation, so this
+is the serial hot path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from .dominance import epsilon_boxes
+from .solution import Solution
+
+__all__ = ["AddResult", "EpsilonBoxArchive"]
+
+
+@dataclass
+class AddResult:
+    """Outcome of offering one solution to the archive.
+
+    Attributes
+    ----------
+    accepted:
+        The solution is now an archive member.
+    improvement:
+        The addition counted as *epsilon-progress*: the solution opened
+        a previously unoccupied epsilon-box or box-dominated existing
+        members.  Same-box replacements do **not** count (Borg uses this
+        distinction to detect stagnation: a run that only polishes
+        within existing boxes is considered stalled).
+    removed:
+        Members evicted by this addition.
+    """
+
+    accepted: bool
+    improvement: bool = False
+    removed: list[Solution] = field(default_factory=list)
+
+
+class EpsilonBoxArchive:
+    """Bounded-resolution Pareto archive (Laumanns et al. 2002).
+
+    Parameters
+    ----------
+    epsilons:
+        Per-objective epsilon resolutions.  A scalar is broadcast to all
+        objectives on first use.
+    """
+
+    def __init__(self, epsilons: Sequence[float] | float) -> None:
+        eps = np.atleast_1d(np.asarray(epsilons, dtype=float))
+        if np.any(eps <= 0):
+            raise ValueError(f"epsilons must be positive, got {eps}")
+        self._epsilons = eps
+        self.solutions: list[Solution] = []
+        self._boxes = np.empty((0, 0))
+        self._objectives = np.empty((0, 0))
+        #: Cumulative count of epsilon-progress improvements.
+        self.improvements = 0
+        #: Archive membership per producing-operator tag.
+        self.operator_counts: Counter[str] = Counter()
+        self._best_violation = np.inf
+
+    # -- basic container protocol ----------------------------------------
+    def __len__(self) -> int:
+        return len(self.solutions)
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self.solutions)
+
+    def __contains__(self, solution: Solution) -> bool:
+        return any(s.uid == solution.uid for s in self.solutions)
+
+    @property
+    def epsilons(self) -> np.ndarray:
+        return self._epsilons
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """Matrix of archive objective vectors, shape ``(len, M)``."""
+        return self._objectives.copy()
+
+    def _broadcast_epsilons(self, m: int) -> np.ndarray:
+        if self._epsilons.size == 1 and m > 1:
+            self._epsilons = np.full(m, self._epsilons[0])
+        if self._epsilons.size != m:
+            raise ValueError(
+                f"{self._epsilons.size} epsilons but {m} objectives"
+            )
+        return self._epsilons
+
+    # -- core update --------------------------------------------------------
+    def add(self, solution: Solution) -> AddResult:
+        """Offer ``solution`` to the archive.
+
+        Returns an :class:`AddResult`; see its docstring for the
+        epsilon-progress semantics.
+        """
+        if not solution.evaluated:
+            raise ValueError("cannot archive an unevaluated solution")
+        if not np.all(np.isfinite(solution.objectives)):
+            return AddResult(accepted=False)
+
+        m = solution.objectives.size
+        eps = self._broadcast_epsilons(m)
+
+        # Constraint handling: the archive only mixes solutions of equal
+        # violation tier.  A strictly-better violation flushes the
+        # archive; a strictly-worse one is rejected outright.
+        violation = solution.constraint_violation
+        if violation > self._best_violation:
+            return AddResult(accepted=False)
+        if violation < self._best_violation:
+            removed = self.solutions
+            self._reset(m)
+            self._best_violation = violation
+            self._append(solution)
+            self.improvements += 1
+            return AddResult(accepted=True, improvement=True, removed=removed)
+
+        box = epsilon_boxes(solution.objectives, eps)
+
+        if not self.solutions:
+            self._reset(m)
+            self._best_violation = violation
+            self._append(solution)
+            self.improvements += 1
+            return AddResult(accepted=True, improvement=True)
+
+        boxes = self._boxes
+        le = boxes <= box
+        ge = boxes >= box
+        all_le = le.all(axis=1)
+        all_ge = ge.all(axis=1)
+        same = all_le & all_ge
+        dominates_new = all_le & ~same      # existing box-dominates new
+        dominated_by_new = all_ge & ~same   # new box-dominates existing
+
+        if np.any(dominates_new):
+            return AddResult(accepted=False)
+
+        same_idx = np.flatnonzero(same)
+        if same_idx.size:
+            # Same box: keep the Pareto-better solution; if mutually
+            # nondominated, keep the one nearer the box's lower corner.
+            i = int(same_idx[0])
+            incumbent = self.solutions[i]
+            if self._same_box_keep_new(solution, incumbent, box, eps):
+                removed = [incumbent]
+                self._remove_indices([i])
+                self._append(solution)
+                return AddResult(accepted=True, improvement=False, removed=removed)
+            return AddResult(accepted=False)
+
+        removed = []
+        evict = np.flatnonzero(dominated_by_new)
+        if evict.size:
+            removed = [self.solutions[i] for i in evict]
+            self._remove_indices(list(evict))
+        self._append(solution)
+        self.improvements += 1
+        return AddResult(accepted=True, improvement=True, removed=removed)
+
+    @staticmethod
+    def _same_box_keep_new(
+        new: Solution, old: Solution, box: np.ndarray, eps: np.ndarray
+    ) -> bool:
+        new_le = bool(np.all(new.objectives <= old.objectives))
+        old_le = bool(np.all(old.objectives <= new.objectives))
+        if new_le and not old_le:
+            return True
+        if old_le and not new_le:
+            return False
+        corner = box * eps
+        d_new = float(np.sum((new.objectives - corner) ** 2))
+        d_old = float(np.sum((old.objectives - corner) ** 2))
+        return d_new < d_old
+
+    # -- storage helpers ---------------------------------------------------
+    def _reset(self, m: int) -> None:
+        self.solutions = []
+        self._boxes = np.empty((0, m))
+        self._objectives = np.empty((0, m))
+        self.operator_counts = Counter()
+
+    def _append(self, solution: Solution) -> None:
+        eps = self._epsilons
+        box = epsilon_boxes(solution.objectives, eps)
+        self.solutions.append(solution)
+        self._boxes = np.vstack([self._boxes, box[None, :]])
+        self._objectives = np.vstack(
+            [self._objectives, solution.objectives[None, :]]
+        )
+        self.operator_counts[solution.operator] += 1
+
+    def _remove_indices(self, indices: list[int]) -> None:
+        keep = np.ones(len(self.solutions), dtype=bool)
+        keep[indices] = False
+        for i in indices:
+            self.operator_counts[self.solutions[i].operator] -= 1
+        self.solutions = [s for s, k in zip(self.solutions, keep) if k]
+        self._boxes = self._boxes[keep]
+        self._objectives = self._objectives[keep]
+
+    # -- queries ------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Solution:
+        """Uniformly random archive member (Borg's archive parent)."""
+        if not self.solutions:
+            raise IndexError("archive is empty")
+        return self.solutions[int(rng.integers(len(self.solutions)))]
+
+    def __repr__(self) -> str:
+        return (
+            f"<EpsilonBoxArchive size={len(self.solutions)} "
+            f"improvements={self.improvements}>"
+        )

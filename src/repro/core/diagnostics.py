@@ -1,0 +1,151 @@
+"""Runtime diagnostics: auto-adaptation and restart dynamics.
+
+Paper §VI ("we also analyzed the algorithm's dynamics at various
+processor counts") and the Borg diagnostic-assessment studies track how
+the operator probabilities, archive size and restart cadence evolve
+during a run.  :class:`DiagnosticCollector` attaches to a
+:class:`~repro.core.borg.BorgEngine`'s observer hooks and records these
+trajectories without perturbing the algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .borg import BorgEngine
+from .restart import RestartPlan
+
+__all__ = ["DiagnosticCollector", "RestartRecord"]
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One restart event."""
+
+    nfe: int
+    reason: str
+    new_population_size: int
+    injections: int
+    archive_size: int
+
+
+@dataclass
+class DiagnosticCollector:
+    """Records adaptation/restart/archive trajectories from an engine.
+
+    Usage::
+
+        engine = BorgEngine(problem, config, rng)
+        diag = DiagnosticCollector(interval=100).attach(engine)
+        ... run ...
+        print(diag.report())
+    """
+
+    #: Evaluations between probability/size samples.
+    interval: int = 100
+    #: (nfe, {operator: probability}) samples.
+    probability_trajectory: list[tuple[int, dict[str, float]]] = field(
+        default_factory=list
+    )
+    #: (nfe, archive size) samples.
+    archive_trajectory: list[tuple[int, int]] = field(default_factory=list)
+    #: (nfe, population size) samples.
+    population_trajectory: list[tuple[int, int]] = field(default_factory=list)
+    restarts: list[RestartRecord] = field(default_factory=list)
+    improvements: int = 0
+    _engine: Optional[BorgEngine] = None
+
+    def attach(self, engine: BorgEngine) -> "DiagnosticCollector":
+        """Chain onto the engine's hooks (preserving existing ones)."""
+        if self.interval < 1:
+            raise ValueError("interval must be >= 1")
+        self._engine = engine
+        prev_ingest = engine.on_ingest
+        prev_restart = engine.on_restart
+        prev_improvement = engine.on_improvement
+
+        def on_ingest(solution):
+            if engine.nfe % self.interval == 0:
+                self._sample(engine)
+            if prev_ingest is not None:
+                prev_ingest(solution)
+
+        def on_restart(plan: RestartPlan):
+            self.restarts.append(
+                RestartRecord(
+                    nfe=engine.nfe,
+                    reason=plan.reason,
+                    new_population_size=plan.new_population_size,
+                    injections=plan.injections,
+                    archive_size=len(engine.archive),
+                )
+            )
+            if prev_restart is not None:
+                prev_restart(plan)
+
+        def on_improvement(solution):
+            self.improvements += 1
+            if prev_improvement is not None:
+                prev_improvement(solution)
+
+        engine.on_ingest = on_ingest
+        engine.on_restart = on_restart
+        engine.on_improvement = on_improvement
+        return self
+
+    def _sample(self, engine: BorgEngine) -> None:
+        self.probability_trajectory.append(
+            (engine.nfe, engine.operator_probabilities())
+        )
+        self.archive_trajectory.append((engine.nfe, len(engine.archive)))
+        self.population_trajectory.append((engine.nfe, len(engine.population)))
+
+    # -- summaries ---------------------------------------------------------
+    def dominant_operator(self) -> Optional[str]:
+        """The operator with the highest final selection probability."""
+        if not self.probability_trajectory:
+            return None
+        _, probs = self.probability_trajectory[-1]
+        return max(probs, key=probs.get)
+
+    def restart_rate(self) -> float:
+        """Restarts per 1000 evaluations (0 when nothing recorded)."""
+        if self._engine is None or self._engine.nfe == 0:
+            return 0.0
+        return 1000.0 * len(self.restarts) / self._engine.nfe
+
+    def mean_archive_size(self) -> float:
+        if not self.archive_trajectory:
+            return 0.0
+        return float(np.mean([size for _, size in self.archive_trajectory]))
+
+    def probability_series(self, operator: str) -> np.ndarray:
+        """Probability-over-NFE series for one operator."""
+        return np.array(
+            [probs.get(operator, 0.0) for _, probs in self.probability_trajectory]
+        )
+
+    def report(self) -> str:
+        """Human-readable dynamics summary."""
+        lines = ["Borg run dynamics"]
+        lines.append(f"  epsilon-progress improvements: {self.improvements}")
+        lines.append(
+            f"  restarts: {len(self.restarts)} "
+            f"({self.restart_rate():.2f} per 1000 NFE)"
+        )
+        by_reason: dict[str, int] = {}
+        for r in self.restarts:
+            by_reason[r.reason] = by_reason.get(r.reason, 0) + 1
+        for reason, count in sorted(by_reason.items()):
+            lines.append(f"    - {reason}: {count}")
+        lines.append(f"  mean archive size: {self.mean_archive_size():.1f}")
+        if self.probability_trajectory:
+            _, final = self.probability_trajectory[-1]
+            ranked = sorted(final.items(), key=lambda kv: -kv[1])
+            lines.append("  final operator probabilities:")
+            for name, p in ranked:
+                lines.append(f"    {name:>5}: {p:6.1%}")
+        return "\n".join(lines)

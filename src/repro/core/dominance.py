@@ -1,0 +1,121 @@
+"""Dominance comparators: Pareto, constrained, and epsilon-box.
+
+All objectives are minimised.  Comparator convention (mirrors ``cmp``):
+
+* return ``-1`` -- the first argument is better (dominates),
+* return ``+1`` -- the second argument is better,
+* return ``0``  -- neither dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .solution import Solution
+
+__all__ = [
+    "pareto_compare",
+    "constrained_compare",
+    "epsilon_boxes",
+    "epsilon_box_compare",
+    "nondominated_mask",
+    "nondominated_filter",
+]
+
+
+def pareto_compare(a: np.ndarray, b: np.ndarray) -> int:
+    """Pareto-compare two objective vectors."""
+    a_le_b = bool(np.all(a <= b))
+    b_le_a = bool(np.all(b <= a))
+    if a_le_b and not b_le_a:
+        return -1
+    if b_le_a and not a_le_b:
+        return 1
+    return 0
+
+
+def constrained_compare(a: Solution, b: Solution) -> int:
+    """Constraint-dominance (Deb's rules) then Pareto dominance.
+
+    A feasible solution beats an infeasible one; between two infeasible
+    solutions the smaller aggregate violation wins; between two feasible
+    solutions ordinary Pareto dominance applies.
+    """
+    va, vb = a.constraint_violation, b.constraint_violation
+    if va > 0.0 or vb > 0.0:
+        if va < vb:
+            return -1
+        if vb < va:
+            return 1
+        if va > 0.0:
+            return 0
+    return pareto_compare(a.objectives, b.objectives)
+
+
+def epsilon_boxes(objectives: np.ndarray, epsilons: np.ndarray) -> np.ndarray:
+    """Map objective vectors to their epsilon-box indices.
+
+    ``objectives`` may be a single vector or an ``(n, m)`` matrix.  Box
+    indices are ``floor(f / epsilon)`` per Laumanns et al. (2002).
+    """
+    return np.floor(np.asarray(objectives, dtype=float) / epsilons)
+
+
+def epsilon_box_compare(
+    a: np.ndarray, b: np.ndarray, epsilons: np.ndarray
+) -> int:
+    """Epsilon-box dominance of two objective vectors.
+
+    If the boxes differ, ordinary Pareto dominance of the box indices
+    decides.  Within the same box, the vector closer (Euclidean) to the
+    box's lower corner wins; exact ties are non-dominated.
+    """
+    box_a = epsilon_boxes(a, epsilons)
+    box_b = epsilon_boxes(b, epsilons)
+    cmp_box = pareto_compare(box_a, box_b)
+    if cmp_box != 0 or not np.array_equal(box_a, box_b):
+        return cmp_box
+    corner = box_a * epsilons
+    da = float(np.sum((a - corner) ** 2))
+    db = float(np.sum((b - corner) ** 2))
+    if da < db:
+        return -1
+    if db < da:
+        return 1
+    return 0
+
+
+def nondominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of Pareto-nondominated rows of an ``(n, m)`` matrix.
+
+    O(n^2) with vectorised inner comparisons; fine for the archive and
+    reference-set sizes this project handles (up to a few thousand).
+    """
+    F = np.asarray(objectives, dtype=float)
+    n = F.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        # Rows that weakly dominate row i in every objective...
+        le = np.all(F <= F[i], axis=1)
+        # ...and strictly in at least one.
+        lt = np.any(F < F[i], axis=1)
+        dominators = le & lt
+        dominators[i] = False
+        if np.any(dominators & mask):
+            mask[i] = False
+            continue
+        # Row i knocks out everything it dominates.
+        ge = np.all(F >= F[i], axis=1)
+        gt = np.any(F > F[i], axis=1)
+        dominated = ge & gt
+        mask[dominated] = False
+        mask[i] = True
+    return mask
+
+
+def nondominated_filter(objectives: np.ndarray) -> np.ndarray:
+    """Return only the Pareto-nondominated rows of ``objectives``."""
+    F = np.asarray(objectives, dtype=float)
+    return F[nondominated_mask(F)]

@@ -1,0 +1,76 @@
+"""Run instrumentation: archive snapshots and run history.
+
+The hypervolume-speedup experiments (paper Figs. 3-4) need the archive's
+contents as a function of elapsed (virtual) time, so runs record
+periodic snapshots that indicators can be computed over afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Snapshot", "RunHistory"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Archive state at one instant of a run."""
+
+    #: Completed function evaluations at snapshot time.
+    nfe: int
+    #: Elapsed time (virtual seconds for simulated runs, wall seconds
+    #: for real backends); NaN when the run has no clock.
+    time: float
+    #: Copy of the archive's objective matrix, shape (archive size, M).
+    objectives: np.ndarray
+    #: Number of restarts completed so far.
+    restarts: int = 0
+
+
+@dataclass
+class RunHistory:
+    """Time series of snapshots plus end-of-run summary counters.
+
+    ``snapshot_interval`` controls recording density: a snapshot is
+    taken every that-many completed evaluations (and once at the end of
+    the run).
+    """
+
+    snapshot_interval: int = 100
+    snapshots: list[Snapshot] = field(default_factory=list)
+    total_nfe: int = 0
+    total_restarts: int = 0
+    elapsed: float = float("nan")
+
+    def maybe_record(
+        self,
+        nfe: int,
+        time: float,
+        objectives: np.ndarray,
+        restarts: int,
+        force: bool = False,
+    ) -> Optional[Snapshot]:
+        """Record a snapshot if ``nfe`` crosses the recording interval."""
+        if not force and nfe % self.snapshot_interval != 0:
+            return None
+        snap = Snapshot(
+            nfe=nfe, time=time, objectives=np.array(objectives), restarts=restarts
+        )
+        self.snapshots.append(snap)
+        return snap
+
+    @property
+    def final_objectives(self) -> np.ndarray:
+        """Objective matrix of the last snapshot."""
+        if not self.snapshots:
+            return np.empty((0, 0))
+        return self.snapshots[-1].objectives
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.snapshots])
+
+    def nfes(self) -> np.ndarray:
+        return np.array([s.nfe for s in self.snapshots])

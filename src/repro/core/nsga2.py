@@ -1,0 +1,220 @@
+"""NSGA-II (Deb et al. 2002): the classical generational baseline.
+
+The Borg papers the study builds on (§II) benchmark Borg against
+high-profile generational MOEAs; NSGA-II is the canonical one, and a
+generational algorithm is also the natural occupant of the synchronous
+master-slave topology (Figure 1).  This is a faithful, self-contained
+implementation: fast nondominated sorting, crowding distance,
+binary crowded-comparison tournaments, SBX + polynomial mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..problems.base import Problem
+from .dominance import constrained_compare
+from .events import RunHistory
+from .operators.mutation import PolynomialMutation
+from .operators.sbx import SBX
+from .solution import Solution
+
+__all__ = ["NSGAII", "NSGA2Result", "fast_nondominated_sort", "crowding_distance"]
+
+
+def fast_nondominated_sort(
+    objectives: np.ndarray, violations: Optional[np.ndarray] = None
+) -> list[np.ndarray]:
+    """Partition rows into nondominated fronts (Deb's fast sort).
+
+    Constrained dominance: a lower aggregate violation dominates; equal
+    violations fall back to Pareto dominance.  Returns index arrays,
+    best front first.
+    """
+    F = np.asarray(objectives, dtype=float)
+    n = F.shape[0]
+    V = np.zeros(n) if violations is None else np.asarray(violations, float)
+
+    # Pairwise constrained-dominance matrix, vectorised: D[i, j] True if
+    # i dominates j.
+    better_v = V[:, None] < V[None, :]
+    equal_v = V[:, None] == V[None, :]
+    pareto = (
+        np.all(F[:, None, :] <= F[None, :, :], axis=2)
+        & np.any(F[:, None, :] < F[None, :, :], axis=2)
+    )
+    D = better_v | (equal_v & pareto)
+
+    dominated_count = D.sum(axis=0)
+    fronts: list[np.ndarray] = []
+    current = np.flatnonzero(dominated_count == 0)
+    remaining = dominated_count.copy()
+    assigned = np.zeros(n, dtype=bool)
+    while current.size:
+        fronts.append(current)
+        assigned[current] = True
+        # Remove the current front's domination arrows.
+        remaining = remaining - D[current].sum(axis=0)
+        nxt = np.flatnonzero((remaining == 0) & ~assigned)
+        current = nxt
+    return fronts
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of each row within one front (inf at extremes)."""
+    F = np.atleast_2d(np.asarray(objectives, dtype=float))
+    n, m = F.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(m):
+        order = np.argsort(F[:, j], kind="stable")
+        span = F[order[-1], j] - F[order[0], j]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        gaps = (F[order[2:], j] - F[order[:-2], j]) / span
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+@dataclass
+class NSGA2Result:
+    """Outcome of an NSGA-II run."""
+
+    nfe: int
+    population: list[Solution]
+    history: RunHistory = field(default_factory=RunHistory)
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """Objective matrix of the final nondominated front."""
+        F = np.array([s.objectives for s in self.population])
+        V = np.array([s.constraint_violation for s in self.population])
+        fronts = fast_nondominated_sort(F, V)
+        return F[fronts[0]]
+
+
+class NSGAII:
+    """Generational NSGA-II with SBX + polynomial mutation.
+
+    Example::
+
+        from repro.core.nsga2 import NSGAII
+        from repro.problems import DTLZ2
+
+        result = NSGAII(DTLZ2(nobjs=5), population_size=100, seed=1).run(10_000)
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        population_size: int = 100,
+        seed: Optional[int] = None,
+        sbx_rate: float = 1.0,
+        sbx_eta: float = 15.0,
+        pm_eta: float = 20.0,
+    ) -> None:
+        if population_size < 4 or population_size % 2:
+            raise ValueError("population size must be an even number >= 4")
+        self.problem = problem
+        self.population_size = population_size
+        self.rng = np.random.default_rng(seed)
+        self._sbx = SBX(problem.lower, problem.upper, rate=sbx_rate,
+                        distribution_index=sbx_eta)
+        self._pm = PolynomialMutation(problem.lower, problem.upper,
+                                      distribution_index=pm_eta)
+        self.nfe = 0
+        self.population: list[Solution] = []
+        self._ranks: np.ndarray = np.empty(0, dtype=int)
+        self._crowding: np.ndarray = np.empty(0)
+
+    # -- internals -----------------------------------------------------------
+    def _evaluate(self, solution: Solution) -> Solution:
+        self.problem.evaluate(solution)
+        self.nfe += 1
+        return solution
+
+    def _rank_population(self) -> None:
+        F = np.array([s.objectives for s in self.population])
+        V = np.array([s.constraint_violation for s in self.population])
+        fronts = fast_nondominated_sort(F, V)
+        self._ranks = np.empty(len(self.population), dtype=int)
+        self._crowding = np.empty(len(self.population))
+        for rank, front in enumerate(fronts):
+            self._ranks[front] = rank
+            self._crowding[front] = crowding_distance(F[front])
+
+    def _crowded_better(self, i: int, j: int) -> bool:
+        """Crowded-comparison operator: lower rank, then larger crowding."""
+        if self._ranks[i] != self._ranks[j]:
+            return self._ranks[i] < self._ranks[j]
+        return self._crowding[i] > self._crowding[j]
+
+    def _tournament(self) -> Solution:
+        i = int(self.rng.integers(len(self.population)))
+        j = int(self.rng.integers(len(self.population)))
+        return self.population[i if self._crowded_better(i, j) else j]
+
+    def _make_offspring(self) -> list[Solution]:
+        offspring: list[Solution] = []
+        while len(offspring) < self.population_size:
+            p1 = self._tournament().variables[None, :]
+            p2 = self._tournament().variables[None, :]
+            children = self._sbx.evolve(np.vstack([p1, p2]), self.rng)
+            for child in children:
+                mutated = self._pm.evolve(child[None, :], self.rng)[0]
+                offspring.append(Solution(mutated, operator="sbx"))
+                if len(offspring) == self.population_size:
+                    break
+        return offspring
+
+    def _environmental_selection(
+        self, combined: list[Solution]
+    ) -> list[Solution]:
+        F = np.array([s.objectives for s in combined])
+        V = np.array([s.constraint_violation for s in combined])
+        fronts = fast_nondominated_sort(F, V)
+        survivors: list[int] = []
+        for front in fronts:
+            if len(survivors) + front.size <= self.population_size:
+                survivors.extend(int(i) for i in front)
+            else:
+                room = self.population_size - len(survivors)
+                crowd = crowding_distance(F[front])
+                order = np.argsort(-crowd, kind="stable")[:room]
+                survivors.extend(int(front[i]) for i in order)
+                break
+        return [combined[i] for i in survivors]
+
+    # -- public API ------------------------------------------------------------
+    def run(
+        self, max_nfe: int, history: Optional[RunHistory] = None
+    ) -> NSGA2Result:
+        """Run until at least ``max_nfe`` evaluations have completed."""
+        if max_nfe < self.population_size:
+            raise ValueError("max_nfe must cover at least one population")
+        hist = history or RunHistory(snapshot_interval=self.population_size)
+
+        self.population = [
+            self._evaluate(self.problem.random_solution(self.rng))
+            for _ in range(self.population_size)
+        ]
+        self._rank_population()
+
+        while self.nfe < max_nfe:
+            offspring = [self._evaluate(s) for s in self._make_offspring()]
+            self.population = self._environmental_selection(
+                self.population + offspring
+            )
+            self._rank_population()
+            F = np.array([s.objectives for s in self.population])
+            first = fast_nondominated_sort(F)[0]
+            hist.maybe_record(self.nfe, float("nan"), F[first], 0, force=True)
+
+        hist.total_nfe = self.nfe
+        return NSGA2Result(nfe=self.nfe, population=self.population, history=hist)

@@ -1,0 +1,30 @@
+"""Borg's real-valued variation operators.
+
+Six auto-adapted operators (paper §II): simulated binary crossover,
+differential evolution, parent-centric crossover, simplex crossover,
+unimodal normal distribution crossover and uniform mutation; plus
+polynomial mutation as the standard SBX/DE companion.
+"""
+
+from .base import CompoundVariator, Variator, clip_to_bounds
+from .de import DifferentialEvolution
+from .ensemble import OPERATOR_NAMES, default_operators
+from .multiparent import PCX, SPX, UNDX, gram_schmidt
+from .mutation import PolynomialMutation, UniformMutation
+from .sbx import SBX
+
+__all__ = [
+    "Variator",
+    "CompoundVariator",
+    "clip_to_bounds",
+    "SBX",
+    "DifferentialEvolution",
+    "PCX",
+    "SPX",
+    "UNDX",
+    "UniformMutation",
+    "PolynomialMutation",
+    "default_operators",
+    "OPERATOR_NAMES",
+    "gram_schmidt",
+]

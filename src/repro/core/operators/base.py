@@ -1,0 +1,104 @@
+"""Variation-operator interface for the Borg MOEA.
+
+Each operator consumes ``arity`` parent decision vectors and produces
+one or more offspring vectors.  Operators are bound to the decision
+space (lower/upper bounds) at construction; offspring are always
+repaired back into bounds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Variator", "CompoundVariator", "clip_to_bounds"]
+
+
+def clip_to_bounds(x: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Repair a decision vector (or matrix) by clipping into bounds."""
+    return np.clip(x, lower, upper)
+
+
+class Variator(ABC):
+    """Base class for real-valued variation operators.
+
+    Parameters
+    ----------
+    lower, upper:
+        Decision-variable bounds, length-L arrays.
+    """
+
+    #: Human-readable operator tag; offspring are stamped with it so the
+    #: archive can credit operators (auto-adaptive selection).
+    name: str = "variator"
+    #: Number of parents consumed per application.
+    arity: int = 1
+    #: Number of offspring produced per application.
+    noffspring: int = 1
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]) -> None:
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("bound shapes differ")
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound")
+
+    @property
+    def nvars(self) -> int:
+        return self.lower.size
+
+    def evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Produce offspring from ``parents``.
+
+        ``parents`` has shape ``(arity, L)``; the result has shape
+        ``(noffspring, L)`` and lies within bounds.
+        """
+        parents = np.atleast_2d(np.asarray(parents, dtype=float))
+        if parents.shape[0] < self.arity:
+            raise ValueError(
+                f"{self.name} needs {self.arity} parents, got {parents.shape[0]}"
+            )
+        children = self._evolve(parents[: self.arity], rng)
+        return clip_to_bounds(np.atleast_2d(children), self.lower, self.upper)
+
+    @abstractmethod
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Operator-specific recombination; bounds repair is applied by
+        the caller."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} arity={self.arity}>"
+
+
+class CompoundVariator(Variator):
+    """Sequential composition of operators (e.g. SBX followed by PM).
+
+    The first operator consumes the parents; each subsequent operator is
+    applied independently to every offspring (and must be unary).
+    """
+
+    def __init__(self, name: str, *stages: Variator) -> None:
+        if not stages:
+            raise ValueError("compound variator needs at least one stage")
+        first = stages[0]
+        super().__init__(first.lower, first.upper)
+        for stage in stages[1:]:
+            if stage.arity != 1:
+                raise ValueError(
+                    f"trailing stage {stage.name} must be unary (arity 1)"
+                )
+        self.name = name
+        self.stages = stages
+        self.arity = first.arity
+        self.noffspring = first.noffspring
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        children = self.stages[0].evolve(parents, rng)
+        for stage in self.stages[1:]:
+            children = np.vstack(
+                [stage.evolve(child[None, :], rng) for child in children]
+            )
+        return children

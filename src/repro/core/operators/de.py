@@ -1,0 +1,50 @@
+"""Differential evolution variation (Storn & Price 1997), rand/1/bin.
+
+Borg uses DE as a directional operator: the offspring starts from the
+first parent and, for a random subset of variables, takes the mutant
+vector ``x1 + F * (x2 - x3)`` built from three further parents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Variator
+
+__all__ = ["DifferentialEvolution"]
+
+
+class DifferentialEvolution(Variator):
+    """rand/1/bin differential evolution crossover.
+
+    Parameters
+    ----------
+    crossover_rate:
+        Per-variable probability of taking the mutant value (Borg
+        default 0.1); one variable is always taken so the offspring is
+        never a pure copy.
+    step_size:
+        Differential weight F (Borg default 0.5).
+    """
+
+    name = "de"
+    arity = 4
+    noffspring = 1
+
+    def __init__(self, lower, upper, crossover_rate: float = 0.1, step_size: float = 0.5) -> None:
+        super().__init__(lower, upper)
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError(f"crossover rate must be in [0, 1], got {crossover_rate}")
+        if step_size <= 0:
+            raise ValueError(f"step size must be positive, got {step_size}")
+        self.crossover_rate = crossover_rate
+        self.step_size = step_size
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        base, x1, x2, x3 = parents[0], parents[1], parents[2], parents[3]
+        L = base.size
+        take = rng.random(L) <= self.crossover_rate
+        take[int(rng.integers(L))] = True  # guaranteed crossover point
+        mutant = x1 + self.step_size * (x2 - x3)
+        child = np.where(take, mutant, base)
+        return child[None, :]

@@ -1,0 +1,46 @@
+"""Borg's default six-operator ensemble (paper §II).
+
+The paper uses the same operator suite as the original Borg studies:
+SBX(+PM), DE(+PM), PCX, SPX, UNDX, and UM with probability 1/L.  The
+ensemble factory binds each operator to a problem's decision space with
+the published default parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import CompoundVariator, Variator
+from .de import DifferentialEvolution
+from .multiparent import PCX, SPX, UNDX
+from .mutation import PolynomialMutation, UniformMutation
+from .sbx import SBX
+
+__all__ = ["default_operators", "OPERATOR_NAMES"]
+
+#: Canonical order of Borg's operator ensemble.
+OPERATOR_NAMES = ("sbx", "de", "pcx", "spx", "undx", "um")
+
+
+def default_operators(
+    lower: Sequence[float],
+    upper: Sequence[float],
+    multiparent_arity: int = 10,
+) -> list[Variator]:
+    """Build the six Borg operators bound to the given decision space.
+
+    ``multiparent_arity`` is capped so that operators never require more
+    parents than small test populations can supply.
+    """
+    pm = PolynomialMutation(lower, upper)
+    k = max(3, multiparent_arity)
+    return [
+        CompoundVariator("sbx", SBX(lower, upper), pm),
+        CompoundVariator(
+            "de", DifferentialEvolution(lower, upper), pm
+        ),
+        PCX(lower, upper, nparents=k),
+        SPX(lower, upper, nparents=k),
+        UNDX(lower, upper, nparents=k),
+        UniformMutation(lower, upper),
+    ]

@@ -1,0 +1,206 @@
+"""Multi-parent recombination operators: PCX, SPX and UNDX.
+
+These are the three "rotationally invariant" operators in Borg's
+ensemble -- the ones that make it effective on non-separable problems
+like UF11 (the paper's hard test case), because their search directions
+follow the parent distribution rather than the coordinate axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Variator
+
+__all__ = ["PCX", "SPX", "UNDX", "gram_schmidt"]
+
+_EPS = 1.0e-12
+
+
+def gram_schmidt(
+    vectors: np.ndarray, against: list[np.ndarray] | None = None
+) -> list[np.ndarray]:
+    """Orthonormalise ``vectors`` (rows), optionally against an existing
+    orthonormal set; near-degenerate directions are dropped."""
+    basis: list[np.ndarray] = list(against or [])
+    start = len(basis)
+    for v in np.atleast_2d(vectors):
+        w = v.astype(float).copy()
+        for b in basis:
+            w -= np.dot(w, b) * b
+        norm = np.linalg.norm(w)
+        if norm > _EPS:
+            basis.append(w / norm)
+    return basis[start:]
+
+
+class PCX(Variator):
+    """Parent-centric crossover (Deb, Joshi & Anand 2002).
+
+    Offspring are sampled around a randomly chosen *index parent*:
+    displaced along the parent-to-centroid direction by N(0, zeta^2)
+    and in the orthogonal directions by N(0, eta^2) scaled with the
+    mean perpendicular spread of the other parents.
+    """
+
+    name = "pcx"
+
+    def __init__(
+        self,
+        lower,
+        upper,
+        nparents: int = 10,
+        noffspring: int = 2,
+        eta: float = 0.1,
+        zeta: float = 0.1,
+    ) -> None:
+        super().__init__(lower, upper)
+        if nparents < 2:
+            raise ValueError("PCX needs at least 2 parents")
+        self.arity = nparents
+        self.noffspring = noffspring
+        self.eta = eta
+        self.zeta = zeta
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = parents.shape[0]
+        g = parents.mean(axis=0)
+        children = []
+        for _ in range(self.noffspring):
+            p = int(rng.integers(k))
+            xp = parents[p]
+            d = xp - g
+            d_norm = np.linalg.norm(d)
+
+            others = np.delete(parents, p, axis=0) - xp
+            if d_norm > _EPS:
+                d_hat = d / d_norm
+                proj = others @ d_hat
+                perp_sq = np.maximum(
+                    np.einsum("ij,ij->i", others, others) - proj**2, 0.0
+                )
+                D = float(np.sqrt(perp_sq).mean())
+                basis = gram_schmidt(
+                    others - proj[:, None] * d_hat[None, :], against=[d_hat]
+                )
+            else:
+                D = float(np.linalg.norm(others, axis=1).mean())
+                basis = gram_schmidt(others)
+
+            child = xp + rng.normal(0.0, self.zeta) * d
+            for e in basis:
+                child = child + rng.normal(0.0, self.eta) * D * e
+            children.append(child)
+        return np.vstack(children)
+
+
+class SPX(Variator):
+    """Simplex crossover (Tsutsui, Yamamura & Higuchi 1999).
+
+    Samples uniformly from a simplex spanned by the parents, expanded
+    about their centroid by ``expansion`` (default 3, Borg's setting).
+    """
+
+    name = "spx"
+
+    def __init__(
+        self,
+        lower,
+        upper,
+        nparents: int = 10,
+        noffspring: int = 2,
+        expansion: float = 3.0,
+    ) -> None:
+        super().__init__(lower, upper)
+        if nparents < 2:
+            raise ValueError("SPX needs at least 2 parents")
+        if expansion <= 0:
+            raise ValueError("expansion must be positive")
+        self.arity = nparents
+        self.noffspring = noffspring
+        self.expansion = expansion
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = parents.shape[0]
+        g = parents.mean(axis=0)
+        expanded = g + self.expansion * (parents - g)
+        children = []
+        for _ in range(self.noffspring):
+            c = np.zeros_like(g)
+            for i in range(1, k):
+                r = rng.random() ** (1.0 / i)
+                c = r * (expanded[i - 1] - expanded[i] + c)
+            children.append(expanded[k - 1] + c)
+        return np.vstack(children)
+
+
+class UNDX(Variator):
+    """Unimodal normal distribution crossover (Kita, Ono & Kobayashi 1999).
+
+    The first ``nparents - 1`` parents define the primary search
+    subspace (through their centroid); the final parent sets the scale
+    of the orthogonal-complement perturbation.  ``zeta`` controls the
+    primary spread and ``eta`` (divided by sqrt(L)) the secondary.
+    """
+
+    name = "undx"
+
+    def __init__(
+        self,
+        lower,
+        upper,
+        nparents: int = 10,
+        noffspring: int = 2,
+        zeta: float = 0.5,
+        eta: float = 0.35,
+    ) -> None:
+        super().__init__(lower, upper)
+        if nparents < 3:
+            raise ValueError("UNDX needs at least 3 parents")
+        self.arity = nparents
+        self.noffspring = noffspring
+        self.zeta = zeta
+        self.eta = eta
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = parents.shape[0]
+        L = parents.shape[1]
+        primary = parents[: k - 1]
+        g = primary.mean(axis=0)
+        d = primary - g
+
+        # Orthonormal basis of the primary subspace, remembering each
+        # retained direction's parent spread |d_i|.
+        basis: list[np.ndarray] = []
+        scales: list[float] = []
+        for v in d:
+            norm = np.linalg.norm(v)
+            if norm <= _EPS:
+                continue
+            w = v.copy()
+            for b in basis:
+                w -= np.dot(w, b) * b
+            w_norm = np.linalg.norm(w)
+            if w_norm > _EPS:
+                basis.append(w / w_norm)
+                scales.append(norm)
+
+        # Distance from the scale parent to the primary subspace.
+        v_last = parents[k - 1] - g
+        residual = v_last.copy()
+        for b in basis:
+            residual -= np.dot(residual, b) * b
+        D = float(np.linalg.norm(residual))
+
+        complement = gram_schmidt(np.eye(L), against=list(basis))
+        eta_sigma = self.eta / np.sqrt(L)
+
+        children = []
+        for _ in range(self.noffspring):
+            child = g.copy()
+            for e, s in zip(basis, scales):
+                child = child + rng.normal(0.0, self.zeta) * s * e
+            for e in complement:
+                child = child + rng.normal(0.0, eta_sigma) * D * e
+            children.append(child)
+        return np.vstack(children)

@@ -1,0 +1,112 @@
+"""Mutation operators: uniform mutation (UM) and polynomial mutation (PM).
+
+UM is one of Borg's six auto-adapted operators and also the diversity
+injector during restarts (applied with probability 1/L).  PM is the
+standard companion mutation appended to SBX and DE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import Variator
+
+__all__ = ["UniformMutation", "PolynomialMutation"]
+
+
+class UniformMutation(Variator):
+    """Resample each variable uniformly in bounds with probability ``rate``.
+
+    ``rate=None`` selects Borg's default of ``1/L``.
+    """
+
+    name = "um"
+    arity = 1
+    noffspring = 1
+
+    def __init__(self, lower, upper, rate: Optional[float] = None) -> None:
+        super().__init__(lower, upper)
+        self.rate = 1.0 / self.nvars if rate is None else rate
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        child = parents[0].copy()
+        mutate = rng.random(child.size) <= self.rate
+        n = int(np.count_nonzero(mutate))
+        if n:
+            child[mutate] = self.lower[mutate] + rng.random(n) * (
+                self.upper[mutate] - self.lower[mutate]
+            )
+        return child[None, :]
+
+
+class PolynomialMutation(Variator):
+    """Bounded polynomial mutation (Deb & Goyal 1996).
+
+    Parameters
+    ----------
+    rate:
+        Per-variable mutation probability; ``None`` selects ``1/L``.
+    distribution_index:
+        eta_m; larger values keep mutants closer to the parent
+        (Borg default 20).
+    """
+
+    name = "pm"
+    arity = 1
+    noffspring = 1
+
+    def __init__(
+        self,
+        lower,
+        upper,
+        rate: Optional[float] = None,
+        distribution_index: float = 20.0,
+    ) -> None:
+        super().__init__(lower, upper)
+        self.rate = 1.0 / self.nvars if rate is None else rate
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if distribution_index <= 0:
+            raise ValueError("distribution index must be positive")
+        self.eta = distribution_index
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        child = parents[0].copy()
+        mutate = rng.random(child.size) <= self.rate
+        idx = np.flatnonzero(mutate)
+        if idx.size == 0:
+            return child[None, :]
+
+        x = child[idx]
+        lb = self.lower[idx]
+        ub = self.upper[idx]
+        span = ub - lb
+        # Degenerate variables (lb == ub) cannot move.
+        ok = span > 0
+        x, lb, ub, span, idx = x[ok], lb[ok], ub[ok], span[ok], idx[ok]
+        if idx.size == 0:
+            return child[None, :]
+
+        u = rng.random(idx.size)
+        mpow = 1.0 / (self.eta + 1.0)
+        delta1 = (x - lb) / span
+        delta2 = (ub - x) / span
+
+        lower_half = u < 0.5
+        xy = np.where(lower_half, 1.0 - delta1, 1.0 - delta2)
+        val = np.where(
+            lower_half,
+            2.0 * u + (1.0 - 2.0 * u) * np.power(xy, self.eta + 1.0),
+            2.0 * (1.0 - u) + 2.0 * (u - 0.5) * np.power(xy, self.eta + 1.0),
+        )
+        deltaq = np.where(
+            lower_half,
+            np.power(val, mpow) - 1.0,
+            1.0 - np.power(val, mpow),
+        )
+        child[idx] = np.clip(x + deltaq * span, lb, ub)
+        return child[None, :]

@@ -1,0 +1,96 @@
+"""Simulated binary crossover (Deb & Agrawal 1994), bounded variant.
+
+Vectorised over decision variables; follows the reference NSGA-II /
+MOEA Framework implementation (including the per-variable 50% swap).
+Borg's default configuration pairs SBX with polynomial mutation; see
+:mod:`repro.core.operators.ensemble`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Variator
+
+__all__ = ["SBX"]
+
+_EPS = 1.0e-14
+
+
+class SBX(Variator):
+    """Two-parent simulated binary crossover.
+
+    Parameters
+    ----------
+    rate:
+        Per-variable crossover probability (Borg default 1.0).
+    distribution_index:
+        Spread control eta_c; larger values keep children nearer their
+        parents (Borg default 15).
+    """
+
+    name = "sbx"
+    arity = 2
+    noffspring = 2
+
+    def __init__(self, lower, upper, rate: float = 1.0, distribution_index: float = 15.0) -> None:
+        super().__init__(lower, upper)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if distribution_index <= 0:
+            raise ValueError("distribution index must be positive")
+        self.rate = rate
+        self.eta = distribution_index
+
+    def _evolve(self, parents: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        x1, x2 = parents[0], parents[1]
+        L = x1.size
+        c1, c2 = x1.copy(), x2.copy()
+
+        # Variables selected for crossover: within-rate AND the standard
+        # extra coin flip AND parents meaningfully distinct.
+        cross = (
+            (rng.random(L) <= self.rate)
+            & (rng.random(L) <= 0.5)
+            & (np.abs(x1 - x2) > _EPS)
+        )
+        idx = np.flatnonzero(cross)
+        if idx.size == 0:
+            return np.vstack([c1, c2])
+
+        y1 = np.minimum(x1[idx], x2[idx])
+        y2 = np.maximum(x1[idx], x2[idx])
+        lb = self.lower[idx]
+        ub = self.upper[idx]
+        dy = y2 - y1
+        u = rng.random(idx.size)
+        exp = 1.0 / (self.eta + 1.0)
+
+        # Child near the lower parent (bounded spread toward lb).
+        beta_l = 1.0 + 2.0 * (y1 - lb) / dy
+        alpha_l = 2.0 - np.power(beta_l, -(self.eta + 1.0))
+        betaq_l = np.where(
+            u <= 1.0 / alpha_l,
+            np.power(u * alpha_l, exp),
+            np.power(1.0 / (2.0 - u * alpha_l), exp),
+        )
+        child_l = 0.5 * ((y1 + y2) - betaq_l * dy)
+
+        # Child near the upper parent (bounded spread toward ub).
+        beta_u = 1.0 + 2.0 * (ub - y2) / dy
+        alpha_u = 2.0 - np.power(beta_u, -(self.eta + 1.0))
+        betaq_u = np.where(
+            u <= 1.0 / alpha_u,
+            np.power(u * alpha_u, exp),
+            np.power(1.0 / (2.0 - u * alpha_u), exp),
+        )
+        child_u = 0.5 * ((y1 + y2) + betaq_u * dy)
+
+        child_l = np.clip(child_l, lb, ub)
+        child_u = np.clip(child_u, lb, ub)
+
+        # Randomly assign which child goes to which slot (50% swap).
+        swap = rng.random(idx.size) <= 0.5
+        c1[idx] = np.where(swap, child_u, child_l)
+        c2[idx] = np.where(swap, child_l, child_u)
+        return np.vstack([c1, c2])

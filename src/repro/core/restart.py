@@ -1,0 +1,131 @@
+"""Stagnation detection and restart planning (paper §II).
+
+Borg monitors the epsilon-dominance archive's *epsilon-progress*
+counter; if a monitoring window passes with no progress, search has
+preconverged and a restart is triggered.  A restart also fires when the
+population size drifts too far from ``gamma`` times the archive size
+(the *injection ratio*), keeping selection pressure proportional to
+problem difficulty.
+
+During a restart the population is emptied, refilled with the archive
+contents, and topped up with uniformly mutated copies of archive
+members (mutation probability 1/L) that must be re-evaluated -- i.e. a
+restart injects a batch of new function evaluations into the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RestartPlan", "RestartController"]
+
+
+@dataclass(frozen=True)
+class RestartPlan:
+    """What the engine must do to execute a restart."""
+
+    #: Target population size after the restart (gamma * archive size).
+    new_population_size: int
+    #: How many mutated archive copies to inject for evaluation.
+    injections: int
+    #: Tournament size under the new population size.
+    tournament_size: int
+    #: Why the restart fired: "stagnation" or "ratio".
+    reason: str
+
+
+class RestartController:
+    """Decides *when* to restart and *what* the restart looks like.
+
+    Parameters
+    ----------
+    gamma:
+        Target population-to-archive ratio (Borg default 4.0).
+    tau:
+        Tournament size as a fraction of population size (default 0.02).
+    check_interval:
+        Evaluations between stagnation checks.
+    ratio_tolerance:
+        Multiplicative slack on gamma before a ratio restart fires
+        (Borg uses 1.25).
+    min_population_size:
+        Floor on the restarted population.
+    """
+
+    def __init__(
+        self,
+        gamma: float = 4.0,
+        tau: float = 0.02,
+        check_interval: int = 100,
+        ratio_tolerance: float = 1.25,
+        min_population_size: int = 16,
+    ) -> None:
+        if gamma < 1.0:
+            raise ValueError("gamma must be >= 1")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must lie in (0, 1]")
+        if check_interval < 1:
+            raise ValueError("check interval must be >= 1")
+        if ratio_tolerance < 1.0:
+            raise ValueError("ratio tolerance must be >= 1")
+        self.gamma = gamma
+        self.tau = tau
+        self.check_interval = check_interval
+        self.ratio_tolerance = ratio_tolerance
+        self.min_population_size = min_population_size
+        self._improvements_at_last_check = 0
+        self._last_check_nfe = 0
+        #: Total restarts triggered (diagnostics).
+        self.restarts = 0
+
+    def tournament_size(self, population_size: int) -> int:
+        """Borg's adaptive tournament size: max(2, tau * popsize)."""
+        return max(2, int(round(self.tau * population_size)))
+
+    def population_size_for(self, archive_size: int) -> int:
+        """Restarted population size: gamma * archive size, floored."""
+        return max(
+            self.min_population_size, int(round(self.gamma * max(1, archive_size)))
+        )
+
+    def check(
+        self,
+        nfe: int,
+        improvements: int,
+        population_size: int,
+        archive_size: int,
+    ) -> RestartPlan | None:
+        """Return a :class:`RestartPlan` if a restart should fire now.
+
+        Call once per completed evaluation; the stagnation test only
+        runs once ``check_interval`` evaluations have elapsed since the
+        previous test (measured from restart completion, so a refill in
+        progress is never interrupted by the *next* check).
+        """
+        if nfe == 0 or nfe - self._last_check_nfe < self.check_interval:
+            return None
+        self._last_check_nfe = nfe
+
+        reason = None
+        if improvements == self._improvements_at_last_check:
+            reason = "stagnation"
+        elif archive_size > 0:
+            ratio = population_size / archive_size
+            if (
+                ratio > self.gamma * self.ratio_tolerance
+                or ratio < self.gamma / self.ratio_tolerance
+            ):
+                reason = "ratio"
+
+        self._improvements_at_last_check = improvements
+        if reason is None:
+            return None
+
+        self.restarts += 1
+        new_size = self.population_size_for(archive_size)
+        return RestartPlan(
+            new_population_size=new_size,
+            injections=max(0, new_size - archive_size),
+            tournament_size=self.tournament_size(new_size),
+            reason=reason,
+        )

@@ -1,0 +1,89 @@
+"""Candidate-solution container used throughout the Borg MOEA."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Solution"]
+
+_ids = itertools.count()
+
+
+class Solution:
+    """One candidate solution: decision variables plus evaluation results.
+
+    Attributes
+    ----------
+    variables:
+        Real-valued decision vector (length L).
+    objectives:
+        Objective vector (length M), populated by evaluation.  All
+        objectives are minimised.
+    constraints:
+        Constraint-violation vector; a value of 0 means the constraint
+        is satisfied, any nonzero magnitude contributes to the
+        aggregate violation.  Empty for unconstrained problems.
+    operator:
+        Name of the variation operator that produced this solution
+        (``"initial"`` for the random initial population, ``"restart"``
+        for restart-injected solutions).  The archive keeps per-operator
+        membership counts from this tag, which drive Borg's
+        auto-adaptive operator selection.
+    """
+
+    __slots__ = ("variables", "objectives", "constraints", "operator", "uid")
+
+    def __init__(
+        self,
+        variables: np.ndarray,
+        objectives: Optional[np.ndarray] = None,
+        constraints: Optional[np.ndarray] = None,
+        operator: str = "initial",
+    ) -> None:
+        self.variables = np.asarray(variables, dtype=float)
+        self.objectives = (
+            None if objectives is None else np.asarray(objectives, dtype=float)
+        )
+        self.constraints = (
+            np.zeros(0)
+            if constraints is None
+            else np.asarray(constraints, dtype=float)
+        )
+        self.operator = operator
+        self.uid = next(_ids)
+
+    @property
+    def evaluated(self) -> bool:
+        """True once objectives have been assigned."""
+        return self.objectives is not None
+
+    @property
+    def constraint_violation(self) -> float:
+        """Aggregate constraint violation (0.0 when feasible)."""
+        if self.constraints.size == 0:
+            return 0.0
+        return float(np.sum(np.abs(self.constraints)))
+
+    @property
+    def feasible(self) -> bool:
+        return self.constraint_violation == 0.0
+
+    def copy(self) -> "Solution":
+        """Deep copy with a fresh uid."""
+        return Solution(
+            self.variables.copy(),
+            None if self.objectives is None else self.objectives.copy(),
+            self.constraints.copy() if self.constraints.size else None,
+            self.operator,
+        )
+
+    def __repr__(self) -> str:
+        objs = (
+            np.array2string(self.objectives, precision=4)
+            if self.evaluated
+            else "<unevaluated>"
+        )
+        return f"<Solution #{self.uid} op={self.operator} objectives={objs}>"

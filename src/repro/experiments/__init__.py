@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* :mod:`table2` -- Table II (experiment vs analytical vs simulation);
+* :mod:`speedup` -- Figures 3-4 (hypervolume-threshold speedup);
+* :mod:`efficiency_surface` -- Figure 5 (sync vs async efficiency);
+* :mod:`timelines` -- Figures 1-2 (master/worker Gantt charts);
+* :mod:`bounds` -- Equations 3-4 (processor-count bounds);
+* :mod:`ablation` -- §VI-B's TF/TA-variance sensitivity claims.
+
+Each module is runnable: ``python -m repro.experiments.<name> --help``.
+"""
+
+from .config import PROBLEM_FACTORIES, SCALES, ExperimentScale
+
+__all__ = ["SCALES", "ExperimentScale", "PROBLEM_FACTORIES"]

@@ -1,0 +1,154 @@
+"""Ablation: sensitivity of sync vs async efficiency to TF variance.
+
+§VI-B closes with a prediction the paper does not plot: "when TF is
+highly-variable, we expect the efficiency of the synchronous model to
+decline while the asynchronous model remains unchanged" (stragglers
+stall a generation barrier; the async pipeline just keeps feeding).
+This harness tests that claim with the simulation models across a CV
+sweep, plus the extreme-value analytic approximation.
+
+A second ablation sweeps the TA coefficient of variation, isolating the
+master-contention mechanism behind Table II's analytical-model failure.
+
+Run ``python -m repro.experiments.ablation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.analytical import serial_time
+from ..models.cantupaz import SynchronousModel, expected_generation_max
+from ..models.simmodel import simulate_async, simulate_sync
+from ..stats.distributions import Constant, Gamma, LogNormal
+from ..stats.timing import TimingModel
+from .reporting import format_table, write_csv
+
+__all__ = ["VarianceRow", "tf_variance_sweep", "ta_variance_sweep", "main"]
+
+DEFAULT_CVS = (0.0, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class VarianceRow:
+    cv: float
+    sync_efficiency: float
+    async_efficiency: float
+    sync_analytic_straggler: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.cv,
+            round(self.sync_efficiency, 3),
+            round(self.async_efficiency, 3),
+            round(self.sync_analytic_straggler, 3),
+        )
+
+
+def _timing(tf_mean: float, cv: float, tc: float, ta: float) -> TimingModel:
+    tf = Constant(tf_mean) if cv == 0.0 else Gamma.from_mean_cv(tf_mean, cv)
+    return TimingModel(t_f=tf, t_c=Constant(tc), t_a=Constant(ta))
+
+
+def tf_variance_sweep(
+    tf_mean: float = 0.01,
+    processors: int = 32,
+    nfe: int = 4000,
+    tc: float = 6e-6,
+    ta: float = 29e-6,
+    cvs=DEFAULT_CVS,
+    seed: int = 20130520,
+) -> list[VarianceRow]:
+    """Efficiency of both disciplines as TF's CV grows."""
+    ts = serial_time(nfe, tf_mean, ta)
+    rows = []
+    for cv in cvs:
+        timing = _timing(tf_mean, cv, tc, ta)
+        sync = simulate_sync(processors, nfe, timing, seed=seed)
+        async_ = simulate_async(processors, nfe, timing, seed=seed)
+        # Analytic straggler model: each generation pays E[max of P draws].
+        straggler_tf = expected_generation_max(tf_mean, cv, processors)
+        model = SynchronousModel(tf=tf_mean, tc=tc, ta=ta, tf_cv=cv)
+        sync_analytic = ts / (
+            processors * model.parallel_time(nfe, processors, stragglers=True)
+        ) if straggler_tf > 0 else float("nan")
+        rows.append(
+            VarianceRow(
+                cv=cv,
+                sync_efficiency=sync.efficiency(ts),
+                async_efficiency=async_.efficiency(ts),
+                sync_analytic_straggler=sync_analytic,
+            )
+        )
+    return rows
+
+
+def ta_variance_sweep(
+    tf_mean: float = 0.001,
+    processors: int = 64,
+    nfe: int = 4000,
+    tc: float = 6e-6,
+    ta_mean: float = 27e-6,
+    cvs=DEFAULT_CVS,
+    seed: int = 20130520,
+) -> list[tuple]:
+    """Async elapsed time as TA's tail grows (master-contention probe)."""
+    rows = []
+    for cv in cvs:
+        ta = Constant(ta_mean) if cv == 0.0 else LogNormal.from_mean_cv(ta_mean, cv)
+        timing = TimingModel(
+            t_f=Gamma.from_mean_cv(tf_mean, 0.1), t_c=Constant(tc), t_a=ta
+        )
+        out = simulate_async(processors, nfe, timing, seed=seed)
+        rows.append(
+            (
+                cv,
+                round(out.elapsed, 5),
+                round(out.master_utilization, 3),
+                round(out.master_mean_wait * 1e6, 2),
+                out.master_max_queue,
+            )
+        )
+    return rows
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description="variance ablations (§VI-B)")
+    parser.add_argument("--processors", type=int, default=32)
+    parser.add_argument("--nfe", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=20130520)
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    rows = tf_variance_sweep(
+        processors=args.processors, nfe=args.nfe, seed=args.seed
+    )
+    headers = ("TF CV", "sync eff (sim)", "async eff (sim)", "sync eff (straggler analytic)")
+    print(
+        format_table(
+            headers,
+            [r.as_tuple() for r in rows],
+            title=f"TF-variance ablation (P={args.processors}, TF mean=0.01s)",
+        )
+    )
+    print()
+    ta_rows = ta_variance_sweep(processors=64, nfe=args.nfe, seed=args.seed)
+    print(
+        format_table(
+            ("TA CV", "elapsed (s)", "master util", "mean wait (us)", "max queue"),
+            ta_rows,
+            title="TA-variance ablation (P=64, TF mean=0.001s)",
+        )
+    )
+    if args.csv:
+        write_csv(args.csv, headers, [r.as_tuple() for r in rows])
+        print(f"wrote {args.csv}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Equations 3-4: processor-count bounds for every operating point.
+
+For each (problem, TF, P) of the Table II grid, prints the analytical
+master-saturation upper bound P_UB = TF / (2 TC + TA) and the
+break-even lower bound P_LB > 2 + 2 TC / (TF + TA), and contrasts P_UB
+with the empirically efficient processor count -- reproducing §VI's
+demonstration that peak efficiency occurs well below the analytical
+saturation bound (244 vs ~32 for DTLZ2 at TF = 0.01).
+
+Run ``python -m repro.experiments.bounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.analytical import processor_lower_bound, processor_upper_bound
+from ..stats.timing import RANGER_TC_SECONDS, TABLE2_TA_MEANS, ta_mean_for
+from .reporting import format_table, write_csv
+
+__all__ = ["BoundsRow", "generate", "main", "HEADERS"]
+
+HEADERS = ("Problem", "TF", "P", "TA", "P_UB (Eq.3)", "P_LB (Eq.4)", "Regime")
+
+_TF_VALUES = (0.001, 0.01, 0.1)
+
+
+@dataclass(frozen=True)
+class BoundsRow:
+    problem: str
+    tf: float
+    processors: int
+    ta: float
+    upper_bound: float
+    lower_bound: float
+
+    @property
+    def regime(self) -> str:
+        """Where this operating point sits relative to the bounds."""
+        if self.processors - 1 > self.upper_bound:
+            return "saturated"
+        if self.processors < self.lower_bound:
+            return "slower-than-serial"
+        return "scalable"
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.problem,
+            self.tf,
+            self.processors,
+            self.ta,
+            round(self.upper_bound, 1),
+            round(self.lower_bound, 3),
+            self.regime,
+        )
+
+
+def generate(tc: float = RANGER_TC_SECONDS) -> list[BoundsRow]:
+    rows = []
+    for problem, anchors in TABLE2_TA_MEANS.items():
+        for tf in _TF_VALUES:
+            for p in sorted(anchors):
+                ta = ta_mean_for(problem, p)
+                rows.append(
+                    BoundsRow(
+                        problem=problem,
+                        tf=tf,
+                        processors=p,
+                        ta=ta,
+                        upper_bound=processor_upper_bound(tf, tc, ta),
+                        lower_bound=processor_lower_bound(tf, tc, ta),
+                    )
+                )
+    return rows
+
+
+def main(argv=None) -> list[BoundsRow]:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Eq. 3/4 bounds tables")
+    parser.add_argument("--csv", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    rows = generate()
+    print(
+        format_table(
+            HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Processor-count bounds (Eqs. 3 and 4)",
+        )
+    )
+    # §VI's worked example.
+    ta_128 = ta_mean_for("DTLZ2", 128)
+    pub = processor_upper_bound(0.01, RANGER_TC_SECONDS, ta_128)
+    print(
+        f"\n§VI worked example -- DTLZ2, TF=0.01, TA={ta_128:g}: "
+        f"P_UB = {pub:.0f} (the paper reports 244), yet Table II's peak "
+        f"efficiency occurs near P = 32."
+    )
+    if args.csv:
+        write_csv(args.csv, HEADERS, [r.as_tuple() for r in rows])
+        print(f"wrote {args.csv}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

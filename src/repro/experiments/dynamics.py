@@ -1,0 +1,147 @@
+"""Algorithm dynamics versus processor count (paper §VI / §VII).
+
+The paper's conclusion rests on a dynamics observation: "the
+effectiveness of the asynchronous Borg MOEA's auto-adaptive search is
+strongly shaped by parallel scalability and problem difficulty".  This
+harness quantifies that: for each processor count it runs the virtual
+async master-slave and reports restart cadence, epsilon-progress,
+archive growth, the dominant operator and the final solution quality --
+showing how large-P staleness alters the search itself, not just the
+clock.
+
+Run ``python -m repro.experiments.dynamics [--problem DTLZ2|UF11]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.borg import BorgConfig, BorgEngine
+from ..core.diagnostics import DiagnosticCollector
+from ..indicators.refsets import NormalizedHypervolume
+from ..parallel.virtual import run_async_master_slave
+from ..stats.timing import ranger_timing
+from .config import PROBLEM_FACTORIES, ExperimentScale
+from .reporting import format_table, write_csv
+
+__all__ = ["DynamicsRow", "generate", "main", "HEADERS"]
+
+HEADERS = (
+    "Problem",
+    "P",
+    "Restarts",
+    "Improvements",
+    "MeanArchive",
+    "DominantOp",
+    "FinalHV",
+)
+
+
+@dataclass(frozen=True)
+class DynamicsRow:
+    problem: str
+    processors: int
+    restarts: int
+    improvements: int
+    mean_archive: float
+    dominant_operator: str
+    final_hv: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.problem,
+            self.processors,
+            self.restarts,
+            self.improvements,
+            round(self.mean_archive, 1),
+            self.dominant_operator,
+            round(self.final_hv, 3),
+        )
+
+
+def run_dynamics_point(
+    problem_name: str,
+    processors: int,
+    scale: ExperimentScale,
+    tf: float,
+    seed: int,
+) -> DynamicsRow:
+    """One row: dynamics of a virtual async run at one processor count."""
+    import numpy as np
+
+    problem = PROBLEM_FACTORIES[problem_name]()
+    timing = ranger_timing(problem_name, processors, tf)
+
+    # Build the engine ourselves so the collector can hook it, then hand
+    # it to the runner (engine injection).
+    engine = BorgEngine(
+        problem,
+        BorgConfig(initial_population_size=100),
+        rng=np.random.default_rng(seed),
+    )
+    collector = DiagnosticCollector(interval=scale.snapshot_interval)
+    collector.attach(engine)
+
+    result = run_async_master_slave(
+        problem,
+        processors,
+        scale.nfe,
+        timing,
+        seed=seed,
+        snapshot_interval=scale.snapshot_interval,
+        engine=engine,
+    )
+
+    metric = NormalizedHypervolume(
+        problem, method="monte-carlo", samples=scale.hv_samples
+    )
+    return DynamicsRow(
+        problem=problem_name,
+        processors=processors,
+        restarts=len(collector.restarts),
+        improvements=collector.improvements,
+        mean_archive=collector.mean_archive_size(),
+        dominant_operator=collector.dominant_operator() or "-",
+        final_hv=metric(result.borg.objectives),
+    )
+
+
+def generate(
+    scale: ExperimentScale,
+    problem_name: str,
+    tf: float = 0.01,
+    seed: int = 20130520,
+    verbose: bool = True,
+) -> list[DynamicsRow]:
+    rows = []
+    for p in scale.processors:
+        if verbose:
+            print(f"  dynamics {problem_name} P={p} ...")
+        rows.append(run_dynamics_point(problem_name, p, scale, tf, seed))
+    return rows
+
+
+def main(argv=None) -> list[DynamicsRow]:
+    from .config import scale_from_args
+
+    scale, args = scale_from_args(argv)
+    all_rows = []
+    for problem in scale.problems:
+        rows = generate(scale, problem, seed=args.seed)
+        all_rows.extend(rows)
+        print(
+            format_table(
+                HEADERS,
+                [r.as_tuple() for r in rows],
+                title=f"Algorithm dynamics vs processor count ({problem})",
+            )
+        )
+        print()
+    if args.csv:
+        write_csv(args.csv, HEADERS, [r.as_tuple() for r in all_rows])
+        print(f"wrote {args.csv}")
+    return all_rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Plain-text and CSV emission for the experiment harness.
+
+The generators print fixed-width tables laid out like the paper's, so a
+side-by-side diff against the published numbers is a matter of reading
+two terminals.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["format_table", "write_csv", "ascii_heatmap", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Compact time formatting matching the paper's precision."""
+    if value != value:  # NaN
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3g}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table; column widths fit the widest cell."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write the same rows to a CSV file for plotting."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+#: Ten-level shading ramp for ASCII heatmaps, low -> high.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str = "",
+    vmin: float = 0.0,
+    vmax: float = 1.0,
+) -> str:
+    """Render a 2-D array as a shaded ASCII heatmap (Figure 5 style).
+
+    Rows are printed top-to-bottom in the given order; values are
+    clipped into [vmin, vmax] and mapped onto a ten-glyph ramp.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(lbl) for lbl in row_labels)
+    for label, row in zip(row_labels, grid):
+        glyphs = []
+        for v in row:
+            t = 0.0 if vmax <= vmin else (float(v) - vmin) / (vmax - vmin)
+            t = min(max(t, 0.0), 1.0)
+            glyphs.append(_RAMP[min(int(t * len(_RAMP)), len(_RAMP) - 1)])
+        lines.append(f"{label:>{label_w}} |{''.join(g * 3 for g in glyphs)}|")
+    # Column footer (first character of each label, spaced to match).
+    footer = " " * (label_w + 2)
+    footer += "".join(f"{lbl:<3.3}" for lbl in col_labels)
+    lines.append(footer)
+    lines.append(f"scale: '{_RAMP[0]}'={vmin:g} ... '{_RAMP[-1]}'={vmax:g}")
+    return "\n".join(lines)

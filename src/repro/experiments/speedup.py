@@ -1,0 +1,194 @@
+"""Figures 3-4: speedup to reach hypervolume thresholds.
+
+For each (problem, TF), the harness:
+
+1. runs the serial Borg MOEA (replicated) and converts its NFE axis to
+   time via Eq. 1 (t = nfe * (TF + TA));
+2. runs the asynchronous master-slave Borg at each processor count on
+   the virtual cluster, recording archive snapshots against virtual
+   time;
+3. computes the normalised hypervolume trajectory of every run ("1 is
+   ideal", §VI-A) and the mean first-attainment time of each threshold
+   h in {0.1, ..., 1.0};
+4. reports S_P^h = T_S^h / T_P^h -- one line series per processor
+   count, exactly the quantity plotted in Figures 3 and 4.
+
+Run ``python -m repro.experiments.speedup [--problem DTLZ2|UF11]``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.borg import BorgConfig, BorgMOEA
+from ..core.events import RunHistory
+from ..indicators.dynamics import attainment_times
+from ..indicators.refsets import NormalizedHypervolume
+from ..parallel.virtual import run_async_master_slave
+from ..stats.timing import ranger_timing, ta_mean_for
+from .config import PROBLEM_FACTORIES, ExperimentScale
+from .reporting import format_table, write_csv
+
+__all__ = ["SpeedupSurface", "generate", "main", "DEFAULT_THRESHOLDS"]
+
+DEFAULT_THRESHOLDS = tuple(np.round(np.arange(0.1, 1.01, 0.1), 2))
+
+
+def _nanmean_rows(rows: list) -> np.ndarray:
+    """Column-wise nanmean that treats all-NaN columns (thresholds no
+    replicate attained) as NaN without warning noise."""
+    stacked = np.vstack(rows)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return np.nanmean(stacked, axis=0)
+
+
+@dataclass
+class SpeedupSurface:
+    """Hypervolume-threshold speedup for one (problem, TF)."""
+
+    problem: str
+    tf: float
+    thresholds: tuple[float, ...]
+    processors: tuple[int, ...]
+    #: Mean serial attainment time per threshold (NaN = unattained).
+    serial_times: np.ndarray
+    #: Mean parallel attainment time, shape (len(processors), len(thresholds)).
+    parallel_times: np.ndarray
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """S_P^h matrix, shape (processors, thresholds)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.serial_times[None, :] / self.parallel_times
+
+    def as_rows(self) -> list[tuple]:
+        rows = []
+        S = self.speedups
+        for i, p in enumerate(self.processors):
+            rows.append(
+                (self.problem, self.tf, p)
+                + tuple(float(S[i, j]) for j in range(len(self.thresholds)))
+            )
+        return rows
+
+
+def _serial_attainment(
+    problem_name: str,
+    tf: float,
+    scale: ExperimentScale,
+    metric,
+    thresholds,
+    seed: int,
+) -> np.ndarray:
+    """Mean serial time to each threshold (Eq. 1 time axis)."""
+    ta = ta_mean_for(problem_name, 16)  # serial overhead ~ smallest anchor
+    per_rep = []
+    for rep in range(scale.replicates):
+        problem = PROBLEM_FACTORIES[problem_name]()
+        algorithm = BorgMOEA(problem, seed=seed + 31 * rep)
+        history = RunHistory(snapshot_interval=scale.snapshot_interval)
+        algorithm.run(scale.nfe, history=history)
+        times = attainment_times(history, metric, thresholds, use_nfe=True)
+        per_rep.append(times * (tf + ta))  # NFE -> seconds via Eq. 1
+    return _nanmean_rows(per_rep)
+
+
+def _parallel_attainment(
+    problem_name: str,
+    tf: float,
+    processors: int,
+    scale: ExperimentScale,
+    metric,
+    thresholds,
+    seed: int,
+) -> np.ndarray:
+    timing = ranger_timing(problem_name, processors, tf)
+    per_rep = []
+    for rep in range(scale.replicates):
+        problem = PROBLEM_FACTORIES[problem_name]()
+        result = run_async_master_slave(
+            problem,
+            processors,
+            scale.nfe,
+            timing,
+            seed=seed + 31 * rep,
+            snapshot_interval=scale.snapshot_interval,
+        )
+        per_rep.append(attainment_times(result.history, metric, thresholds))
+    return _nanmean_rows(per_rep)
+
+
+def generate(
+    scale: ExperimentScale,
+    problem_name: str,
+    tf: float,
+    seed: int = 20130520,
+    thresholds=DEFAULT_THRESHOLDS,
+    verbose: bool = True,
+) -> SpeedupSurface:
+    """One subplot of Figure 3/4: all processor series for one TF."""
+    metric = NormalizedHypervolume(
+        PROBLEM_FACTORIES[problem_name](),
+        method="monte-carlo",
+        samples=scale.hv_samples,
+    )
+    if verbose:
+        print(f"  serial baseline ({problem_name}, TF={tf:g}) ...")
+    serial_times = _serial_attainment(
+        problem_name, tf, scale, metric, thresholds, seed
+    )
+    parallel = np.full((len(scale.processors), len(thresholds)), np.nan)
+    for i, p in enumerate(scale.processors):
+        if verbose:
+            print(f"  parallel P={p} ...")
+        parallel[i] = _parallel_attainment(
+            problem_name, tf, p, scale, metric, thresholds, seed
+        )
+    return SpeedupSurface(
+        problem=problem_name,
+        tf=tf,
+        thresholds=tuple(thresholds),
+        processors=tuple(scale.processors),
+        serial_times=serial_times,
+        parallel_times=parallel,
+    )
+
+
+def main(argv=None) -> list[SpeedupSurface]:
+    from .config import scale_from_args
+
+    scale, args = scale_from_args(argv)
+    surfaces = []
+    all_rows = []
+    headers = ("Problem", "TF", "P") + tuple(
+        f"h={h:g}" for h in DEFAULT_THRESHOLDS
+    )
+    for problem in scale.problems:
+        figure = "Figure 3" if problem == "DTLZ2" else "Figure 4"
+        for tf in scale.tf_values:
+            print(f"{figure}: {problem}, TF = {tf:g}")
+            surface = generate(scale, problem, tf, seed=args.seed)
+            surfaces.append(surface)
+            rows = surface.as_rows()
+            all_rows.extend(rows)
+            print(
+                format_table(
+                    headers,
+                    rows,
+                    title=f"Speedup to reach hypervolume thresholds "
+                    f"({problem}, TF={tf:g})",
+                )
+            )
+            print()
+    if args.csv:
+        write_csv(args.csv, headers, all_rows)
+        print(f"wrote {args.csv}")
+    return surfaces
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,201 @@
+"""Table II: experimental results vs analytical and simulation models.
+
+For every (problem, TF, P) operating point this harness:
+
+1. runs the *experiment* -- the real Borg MOEA on the virtual-clock
+   master-slave (replicated, averaged), standing in for the paper's
+   Ranger runs;
+2. evaluates the *analytical model* (Eq. 2 with mean times);
+3. runs the *simulation model* (timing-only, §IV-B);
+4. reports elapsed times, experimental efficiency, and Eq. 5 errors in
+   the paper's column layout.
+
+Run ``python -m repro.experiments.table2 [--scale ci|smoke|paper]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.borg import BorgConfig
+from ..models.analytical import AnalyticalModel, serial_time
+from ..models.simmodel import predict_async_time, simulate_async
+from ..parallel.virtual import run_async_master_slave
+from ..stats.descriptive import relative_error
+from ..stats.timing import ranger_timing
+from .config import PROBLEM_FACTORIES, ExperimentScale, SCALES
+from .reporting import format_table, write_csv
+
+__all__ = ["Table2Row", "run_point", "generate", "main", "HEADERS"]
+
+HEADERS = (
+    "Problem",
+    "P",
+    "TA",
+    "TC",
+    "TF",
+    "Time",
+    "Efficiency",
+    "AnalyticalTime",
+    "AnalyticalError",
+    "SimulationTime",
+    "SimulationError",
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row, in the paper's column order."""
+
+    problem: str
+    processors: int
+    ta: float
+    tc: float
+    tf: float
+    time: float
+    efficiency: float
+    analytical_time: float
+    analytical_error: float
+    simulation_time: float
+    simulation_error: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.problem,
+            self.processors,
+            self.ta,
+            self.tc,
+            self.tf,
+            self.time,
+            self.efficiency,
+            self.analytical_time,
+            f"{self.analytical_error:.0%}",
+            self.simulation_time,
+            f"{self.simulation_error:.0%}",
+        )
+
+
+def run_point(
+    problem_name: str,
+    tf: float,
+    processors: int,
+    scale: ExperimentScale,
+    seed: int,
+    config: Optional[BorgConfig] = None,
+) -> Table2Row:
+    """Produce one Table II row."""
+    timing = ranger_timing(problem_name, processors, tf)
+
+    # -- experiment: real algorithm on the virtual cluster --
+    elapsed = []
+    for rep in range(scale.replicates):
+        problem = PROBLEM_FACTORIES[problem_name]()
+        result = run_async_master_slave(
+            problem,
+            processors,
+            scale.nfe,
+            timing,
+            config=config,
+            seed=seed + 1000 * rep,
+            snapshot_interval=scale.nfe,  # timings only; skip snapshots
+        )
+        elapsed.append(result.elapsed)
+    t_exp = float(np.mean(elapsed))
+
+    # -- efficiency against the serial model (Eq. 1 with mean times) --
+    ts = serial_time(scale.nfe, timing.mean_tf, timing.mean_ta)
+    eff = ts / (processors * t_exp)
+
+    # -- analytical model (Eq. 2) --
+    analytical = AnalyticalModel.from_timing(timing)
+    t_analytic = analytical.parallel_time(scale.nfe, processors)
+
+    # -- simulation model (timing-only), averaged over replicates --
+    sims = []
+    for rep in range(scale.replicates):
+        if scale.nfe <= 20_000:
+            sims.append(
+                simulate_async(
+                    processors, scale.nfe, timing, seed=seed + 77 + 1000 * rep
+                ).elapsed
+            )
+        else:
+            sims.append(
+                predict_async_time(
+                    processors, scale.nfe, timing, seed=seed + 77 + 1000 * rep
+                )
+            )
+    t_sim = float(np.mean(sims))
+
+    return Table2Row(
+        problem=problem_name,
+        processors=processors,
+        ta=timing.mean_ta,
+        tc=timing.mean_tc,
+        tf=tf,
+        time=t_exp,
+        efficiency=eff,
+        analytical_time=t_analytic,
+        analytical_error=relative_error(t_exp, t_analytic),
+        simulation_time=t_sim,
+        simulation_error=relative_error(t_exp, t_sim),
+    )
+
+
+def generate(
+    scale: ExperimentScale, seed: int = 20130520, verbose: bool = True
+) -> list[Table2Row]:
+    """All rows of the table at the given scale."""
+    rows = []
+    for problem, tf, p in scale.iter_points():
+        row = run_point(problem, tf, p, scale, seed)
+        rows.append(row)
+        if verbose:
+            print(
+                f"  {problem:>6} TF={tf:<6g} P={p:<5d} "
+                f"time={row.time:8.3f}s eff={row.efficiency:5.2f} "
+                f"analytical err={row.analytical_error:4.0%} "
+                f"simulation err={row.simulation_error:4.0%}"
+            )
+    return rows
+
+
+def main(argv=None) -> list[Table2Row]:
+    from .config import scale_from_args
+
+    scale, args = scale_from_args(argv)
+    print(
+        f"Table II reproduction -- scale={scale.name} "
+        f"(N={scale.nfe}, {scale.replicates} replicate(s))\n"
+    )
+    rows = generate(scale, seed=args.seed)
+    print()
+    print(
+        format_table(
+            HEADERS,
+            [r.as_tuple() for r in rows],
+            title="Table II: experiment vs analytical vs simulation model",
+        )
+    )
+    if args.csv:
+        write_csv(
+            args.csv,
+            HEADERS,
+            [
+                (
+                    r.problem, r.processors, r.ta, r.tc, r.tf, r.time,
+                    r.efficiency, r.analytical_time, r.analytical_error,
+                    r.simulation_time, r.simulation_error,
+                )
+                for r in rows
+            ],
+        )
+        print(f"\nwrote {args.csv}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Solution-quality indicators.
+
+Hypervolume (exact WFG + Monte Carlo), normalised hypervolume against
+closed-form ideals ("1 is ideal", paper §VI-A), set-distance metrics,
+and quality-versus-time trajectory utilities.
+"""
+
+from .distances import (
+    additive_epsilon,
+    generational_distance,
+    inverted_generational_distance,
+    spacing,
+)
+from .dynamics import attainment_times, hypervolume_trajectory, time_to_threshold
+from .hypervolume import Hypervolume, hypervolume, monte_carlo_hypervolume
+from .refsets import (
+    DEFAULT_REFERENCE_VALUE,
+    NormalizedHypervolume,
+    ideal_hypervolume_for,
+    plane_ideal_hypervolume,
+    plane_reference_set,
+    reference_point_for,
+    reference_set_for,
+    simplex_lattice,
+    sphere_ideal_hypervolume,
+    sphere_reference_set,
+    zdt1_reference_set,
+)
+
+__all__ = [
+    "Hypervolume",
+    "hypervolume",
+    "monte_carlo_hypervolume",
+    "NormalizedHypervolume",
+    "generational_distance",
+    "inverted_generational_distance",
+    "additive_epsilon",
+    "spacing",
+    "simplex_lattice",
+    "sphere_reference_set",
+    "plane_reference_set",
+    "zdt1_reference_set",
+    "sphere_ideal_hypervolume",
+    "plane_ideal_hypervolume",
+    "reference_set_for",
+    "reference_point_for",
+    "ideal_hypervolume_for",
+    "DEFAULT_REFERENCE_VALUE",
+    "hypervolume_trajectory",
+    "time_to_threshold",
+    "attainment_times",
+]

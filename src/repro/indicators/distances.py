@@ -1,0 +1,79 @@
+"""Set-distance indicators: GD, IGD, additive epsilon, spacing.
+
+Complements the hypervolume metric: GD/IGD measure convergence toward
+and coverage of the reference set, the additive epsilon indicator gives
+a worst-case translation bound, and spacing quantifies distribution
+uniformity within an approximation set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "generational_distance",
+    "inverted_generational_distance",
+    "additive_epsilon",
+    "spacing",
+]
+
+
+def _pairwise_min_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """For each row of A, the Euclidean distance to the nearest row of B."""
+    diff = A[:, None, :] - B[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff)).min(axis=1)
+
+
+def generational_distance(
+    approx: np.ndarray, reference: np.ndarray, power: float = 2.0
+) -> float:
+    """GD: generalised mean distance from the approximation set to the
+    reference set (lower is better; 0 = on the front)."""
+    A = np.atleast_2d(np.asarray(approx, dtype=float))
+    R = np.atleast_2d(np.asarray(reference, dtype=float))
+    if A.size == 0:
+        return float("inf")
+    d = _pairwise_min_dists(A, R)
+    return float((np.mean(d**power)) ** (1.0 / power))
+
+
+def inverted_generational_distance(
+    approx: np.ndarray, reference: np.ndarray, power: float = 1.0
+) -> float:
+    """IGD: mean distance from each reference point to the approximation
+    set -- penalises both poor convergence and poor coverage."""
+    A = np.atleast_2d(np.asarray(approx, dtype=float))
+    R = np.atleast_2d(np.asarray(reference, dtype=float))
+    if A.size == 0:
+        return float("inf")
+    d = _pairwise_min_dists(R, A)
+    return float((np.mean(d**power)) ** (1.0 / power))
+
+
+def additive_epsilon(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Additive epsilon indicator (Zitzler et al. 2003): the smallest
+    translation that makes the approximation weakly dominate the
+    reference set (lower is better; 0 = reference attained)."""
+    A = np.atleast_2d(np.asarray(approx, dtype=float))
+    R = np.atleast_2d(np.asarray(reference, dtype=float))
+    if A.size == 0:
+        return float("inf")
+    # For each reference point r: min over a of max_j (a_j - r_j);
+    # indicator is the max over r.
+    diffs = A[:, None, :] - R[None, :, :]
+    worst_obj = diffs.max(axis=2)   # (|A|, |R|)
+    best_approx = worst_obj.min(axis=0)
+    return float(best_approx.max())
+
+
+def spacing(approx: np.ndarray) -> float:
+    """Schott's spacing: standard deviation of nearest-neighbour
+    (L1) distances within the set (0 = perfectly even spread)."""
+    A = np.atleast_2d(np.asarray(approx, dtype=float))
+    n = A.shape[0]
+    if n < 2:
+        return 0.0
+    l1 = np.abs(A[:, None, :] - A[None, :, :]).sum(axis=2)
+    np.fill_diagonal(l1, np.inf)
+    d = l1.min(axis=1)
+    return float(np.sqrt(np.mean((d - d.mean()) ** 2)))

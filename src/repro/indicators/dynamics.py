@@ -1,0 +1,81 @@
+"""Hypervolume dynamics: quality-versus-time trajectories (Figs. 3-4).
+
+The paper's hypervolume-based speedup requires, for each run, the time
+at which the archive first met each quality threshold h:
+
+    S_P^h = T_S^h / T_P^h   (paper §VI-A)
+
+These helpers turn a :class:`~repro.core.events.RunHistory` into a
+hypervolume trajectory and extract threshold-attainment times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.events import RunHistory
+
+__all__ = ["hypervolume_trajectory", "time_to_threshold", "attainment_times"]
+
+
+def hypervolume_trajectory(
+    history: RunHistory,
+    metric: Callable[[np.ndarray], float],
+    use_nfe: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``metric`` on every snapshot of ``history``.
+
+    Returns ``(times, values)`` where times are snapshot virtual times
+    (or NFE counts when ``use_nfe``).  The returned values are made
+    monotone non-decreasing: the epsilon-archive can momentarily lose a
+    sliver of hypervolume when a new box evicts several old ones, and
+    threshold attainment is defined on the running best.
+    """
+    if not history.snapshots:
+        return np.empty(0), np.empty(0)
+    times = history.nfes() if use_nfe else history.times()
+    values = np.array(
+        [metric(snap.objectives) for snap in history.snapshots]
+    )
+    return times.astype(float), np.maximum.accumulate(values)
+
+
+def time_to_threshold(
+    times: np.ndarray, values: np.ndarray, threshold: float
+) -> float:
+    """First time at which ``values`` reaches ``threshold``.
+
+    Linear interpolation between the bracketing snapshots; NaN when the
+    run never attains the threshold.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return float("nan")
+    hit = np.flatnonzero(values >= threshold)
+    if hit.size == 0:
+        return float("nan")
+    i = int(hit[0])
+    if i == 0:
+        return float(times[0])
+    t0, t1 = times[i - 1], times[i]
+    v0, v1 = values[i - 1], values[i]
+    if v1 == v0:
+        return float(t1)
+    frac = (threshold - v0) / (v1 - v0)
+    return float(t0 + frac * (t1 - t0))
+
+
+def attainment_times(
+    history: RunHistory,
+    metric: Callable[[np.ndarray], float],
+    thresholds: Sequence[float],
+    use_nfe: bool = False,
+) -> np.ndarray:
+    """Attainment time per threshold (NaN where unattained)."""
+    times, values = hypervolume_trajectory(history, metric, use_nfe=use_nfe)
+    return np.array(
+        [time_to_threshold(times, values, h) for h in thresholds]
+    )

@@ -1,0 +1,235 @@
+"""Analytic reference sets and ideal hypervolumes (paper §VI-A).
+
+Both test problems have known optimal fronts: DTLZ2's Pareto front is
+the positive octant of the unit hypersphere, and this project's UF11
+construction (rotation of distance variables only, contraction scaling;
+see :mod:`repro.problems.uf`) leaves that front unchanged.  The paper
+normalises hypervolume so "1 is ideal"; here the ideal is available in
+closed form:
+
+    HV*(sphere front, ref=r) = r^M - V_M / 2^M,   r >= 1,
+
+where ``V_M`` is the volume of the M-dimensional unit ball -- because a
+point x >= 0 is dominated by the spherical front iff ||x|| >= 1.
+DTLZ1's linear front (sum f = 0.5) likewise admits a closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Optional
+
+import numpy as np
+
+from .hypervolume import Hypervolume
+
+__all__ = [
+    "simplex_lattice",
+    "sphere_reference_set",
+    "plane_reference_set",
+    "sphere_ideal_hypervolume",
+    "plane_ideal_hypervolume",
+    "zdt1_reference_set",
+    "reference_set_for",
+    "ideal_hypervolume_for",
+    "NormalizedHypervolume",
+    "DEFAULT_REFERENCE_VALUE",
+]
+
+#: Reference-point coordinate used for hypervolume normalisation
+#: throughout the experiments (slightly beyond the nadir of both
+#: fronts, the customary "1.1 x nadir" choice).
+DEFAULT_REFERENCE_VALUE = 1.1
+
+
+def simplex_lattice(nobjs: int, divisions: int) -> np.ndarray:
+    """Das-Dennis simplex-lattice weights: all compositions of
+    ``divisions`` into ``nobjs`` parts, normalised to sum to 1."""
+    if nobjs < 1 or divisions < 1:
+        raise ValueError("need nobjs >= 1 and divisions >= 1")
+    points = []
+    # Stars and bars: choose bar positions among divisions+nobjs-1 slots.
+    for bars in combinations(range(divisions + nobjs - 1), nobjs - 1):
+        counts = []
+        prev = -1
+        for b in bars:
+            counts.append(b - prev - 1)
+            prev = b
+        counts.append(divisions + nobjs - 2 - prev)
+        points.append(counts)
+    return np.asarray(points, dtype=float) / divisions
+
+
+def sphere_reference_set(nobjs: int, divisions: int = 6) -> np.ndarray:
+    """Uniformly structured points on the unit-sphere front (DTLZ2/3/4,
+    UF11/UF12): the simplex lattice radially projected onto the sphere."""
+    w = simplex_lattice(nobjs, divisions)
+    norms = np.linalg.norm(w, axis=1, keepdims=True)
+    return w / norms
+
+
+def plane_reference_set(nobjs: int, divisions: int = 6) -> np.ndarray:
+    """Points on DTLZ1's linear front (sum f = 0.5)."""
+    return 0.5 * simplex_lattice(nobjs, divisions)
+
+
+def zdt1_reference_set(n_points: int = 200) -> np.ndarray:
+    """ZDT1's convex front f2 = 1 - sqrt(f1)."""
+    f1 = np.linspace(0.0, 1.0, n_points)
+    return np.column_stack([f1, 1.0 - np.sqrt(f1)])
+
+
+def unit_ball_volume(m: int) -> float:
+    """Volume of the m-dimensional unit ball."""
+    return math.pi ** (m / 2.0) / math.gamma(m / 2.0 + 1.0)
+
+
+def sphere_ideal_hypervolume(
+    nobjs: int, ref: float = DEFAULT_REFERENCE_VALUE
+) -> float:
+    """Exact hypervolume of the full spherical front vs ref point r^M."""
+    if ref < 1.0:
+        raise ValueError("reference point must weakly dominate the nadir (>= 1)")
+    return ref**nobjs - unit_ball_volume(nobjs) / 2**nobjs
+
+
+def plane_ideal_hypervolume(
+    nobjs: int, ref: float = DEFAULT_REFERENCE_VALUE
+) -> float:
+    """Exact hypervolume of DTLZ1's front (simplex sum f = 0.5) vs r^M.
+
+    The undominated region within [0, r]^M is the corner simplex
+    {x >= 0 : sum x < 0.5} of volume 0.5^M / M!.
+    """
+    if ref < 0.5:
+        raise ValueError("reference point must be >= 0.5")
+    return ref**nobjs - 0.5**nobjs / math.factorial(nobjs)
+
+
+_SPHERE_PROBLEMS = {"DTLZ2", "DTLZ3", "DTLZ4", "UF11", "UF12"}
+_PLANE_PROBLEMS = {"DTLZ1"}
+#: WFG problems whose front is the 2m-scaled unit sphere (resp. the
+#: scaled sum-to-1 simplex for WFG3): hypervolume facts transfer from
+#: the unit shapes by the product of the axis scalings.
+_SCALED_SPHERE_PROBLEMS = {"WFG4", "WFG5", "WFG6", "WFG7", "WFG8", "WFG9"}
+_SCALED_PLANE_PROBLEMS = {"WFG3"}
+
+
+def _wfg_scales(nobjs: int) -> np.ndarray:
+    """WFG objective scalings S_m = 2m."""
+    return 2.0 * np.arange(1, nobjs + 1)
+
+
+def _canonical_name(problem) -> str:
+    name = problem if isinstance(problem, str) else problem.name
+    # Unwrap decorator names like "Timed[UF11]" or "RotatedDTLZ2";
+    # longest match first so "DTLZ2" never shadows a hypothetical
+    # "DTLZ2X" and "WFG1" never claims "WFG10".
+    known_names = sorted(
+        _SPHERE_PROBLEMS
+        | _PLANE_PROBLEMS
+        | _SCALED_SPHERE_PROBLEMS
+        | _SCALED_PLANE_PROBLEMS
+        | {"ZDT1"},
+        key=len,
+        reverse=True,
+    )
+    for known in known_names:
+        if known in name.upper():
+            return known
+    return name.upper()
+
+
+def reference_set_for(problem, divisions: int = 6) -> np.ndarray:
+    """The known reference (optimal) set for a supported problem."""
+    name = _canonical_name(problem)
+    nobjs = 5 if isinstance(problem, str) else problem.nobjs
+    if name in _SPHERE_PROBLEMS:
+        return sphere_reference_set(nobjs, divisions)
+    if name in _PLANE_PROBLEMS:
+        return plane_reference_set(nobjs, divisions)
+    if name in _SCALED_SPHERE_PROBLEMS:
+        return sphere_reference_set(nobjs, divisions) * _wfg_scales(nobjs)
+    if name in _SCALED_PLANE_PROBLEMS:
+        # WFG3's front: sum(f_m / 2m) = 1 (twice the unit plane set).
+        return 2.0 * plane_reference_set(nobjs, divisions) * _wfg_scales(nobjs)
+    if name == "ZDT1":
+        return zdt1_reference_set()
+    raise KeyError(f"no analytic reference set for {name!r}")
+
+
+def ideal_hypervolume_for(
+    problem, ref: float = DEFAULT_REFERENCE_VALUE
+) -> float:
+    """Closed-form ideal hypervolume for a supported problem.
+
+    For the WFG family the reference point is ``ref * S_m`` per
+    objective and hypervolume scales by ``prod(S_m)``.
+    """
+    name = _canonical_name(problem)
+    nobjs = 5 if isinstance(problem, str) else problem.nobjs
+    if name in _SPHERE_PROBLEMS:
+        return sphere_ideal_hypervolume(nobjs, ref)
+    if name in _PLANE_PROBLEMS:
+        return plane_ideal_hypervolume(nobjs, ref)
+    if name in _SCALED_SPHERE_PROBLEMS:
+        return float(np.prod(_wfg_scales(nobjs))) * sphere_ideal_hypervolume(
+            nobjs, ref
+        )
+    if name in _SCALED_PLANE_PROBLEMS:
+        # Unit-plane problem with front sum x = 1: undominated corner
+        # simplex has volume 1/M!; scale axes by 2m afterwards.
+        if ref < 1.0:
+            raise ValueError("reference point must be >= 1")
+        unit = ref**nobjs - 1.0 / math.factorial(nobjs)
+        return float(np.prod(_wfg_scales(nobjs))) * unit
+    raise KeyError(f"no closed-form ideal hypervolume for {name!r}")
+
+
+def reference_point_for(
+    problem, ref: float = DEFAULT_REFERENCE_VALUE
+) -> np.ndarray:
+    """The reference-point vector matching :func:`ideal_hypervolume_for`:
+    ``ref`` per objective, scaled by S_m = 2m for the WFG family."""
+    name = _canonical_name(problem)
+    nobjs = 5 if isinstance(problem, str) else problem.nobjs
+    if name in _SCALED_SPHERE_PROBLEMS or name in _SCALED_PLANE_PROBLEMS:
+        return ref * _wfg_scales(nobjs)
+    return np.full(nobjs, ref)
+
+
+class NormalizedHypervolume:
+    """Hypervolume scaled so the true front scores exactly 1 (paper
+    §VI-A: "A hypervolume value of 1 is ideal").
+
+    Parameters
+    ----------
+    problem:
+        Problem instance or canonical name ("DTLZ2", "UF11", ...).
+    ref:
+        Scalar reference-point coordinate.
+    method, samples:
+        Forwarded to :class:`Hypervolume`.
+    """
+
+    def __init__(
+        self,
+        problem,
+        ref: float = DEFAULT_REFERENCE_VALUE,
+        method: str = "auto",
+        samples: int = 20_000,
+        seed: Optional[int] = 12345,
+    ) -> None:
+        self.ideal = ideal_hypervolume_for(problem, ref)
+        self._hv = Hypervolume(
+            reference_point_for(problem, ref),
+            method=method,
+            samples=samples,
+            seed=seed,
+        )
+
+    def compute(self, front: np.ndarray) -> float:
+        return self._hv.compute(front) / self.ideal
+
+    __call__ = compute

@@ -1,0 +1,62 @@
+"""Performance models of the master-slave Borg MOEA.
+
+* :mod:`analytical` -- Eqs. 1-4 (constant-time closed forms);
+* :mod:`cantupaz` -- Eq. 6, the synchronous baseline;
+* :mod:`simmodel` -- the SimPy-style timing-only simulation model that
+  captures master contention (paper §IV-B);
+* :mod:`compare` -- Eq. 5 error rows.
+"""
+
+from .analytical import (
+    AnalyticalModel,
+    async_parallel_time,
+    efficiency,
+    processor_lower_bound,
+    processor_upper_bound,
+    serial_time,
+    speedup,
+)
+from .cantupaz import (
+    SynchronousModel,
+    expected_generation_max,
+    sync_efficiency,
+    sync_parallel_time,
+    sync_speedup,
+)
+from .compare import ModelComparison, compare_models
+from .faults import FaultyOutcome, simulate_async_with_failures
+from .queueing import QueueingModel, RepairmanSolution, solve_repairman
+from .simmodel import (
+    SimulationOutcome,
+    predict_async_time,
+    predict_sync_time,
+    simulate_async,
+    simulate_sync,
+)
+
+__all__ = [
+    "serial_time",
+    "async_parallel_time",
+    "speedup",
+    "efficiency",
+    "processor_upper_bound",
+    "processor_lower_bound",
+    "AnalyticalModel",
+    "sync_parallel_time",
+    "sync_speedup",
+    "sync_efficiency",
+    "expected_generation_max",
+    "SynchronousModel",
+    "SimulationOutcome",
+    "simulate_async",
+    "simulate_sync",
+    "predict_async_time",
+    "predict_sync_time",
+    "ModelComparison",
+    "compare_models",
+    "FaultyOutcome",
+    "simulate_async_with_failures",
+    "QueueingModel",
+    "RepairmanSolution",
+    "solve_repairman",
+]

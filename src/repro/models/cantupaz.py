@@ -1,0 +1,129 @@
+"""Cantu-Paz's synchronous master-slave model (paper §VI-B, Eq. 6).
+
+The generational baseline the paper compares against:
+
+    T_P^sync = N / P * (TF + P TC + TA_sync),   TA_sync ~ P TA,
+
+with P doubling as both processor count and population size (one
+offspring per node per generation, as the paper assumes).  The module
+also provides the straggler analysis behind §VI-B's closing claim: with
+stochastic TF the synchronous model pays E[max of P draws] per
+generation instead of E[TF].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .analytical import serial_time
+
+__all__ = [
+    "sync_parallel_time",
+    "sync_speedup",
+    "sync_efficiency",
+    "SynchronousModel",
+    "expected_generation_max",
+]
+
+
+def sync_parallel_time(
+    nfe: int,
+    processors: int,
+    tf: float,
+    tc: float,
+    ta: float,
+    ta_sync: float | None = None,
+) -> float:
+    """Eq. 6 with TA_sync defaulting to P * TA."""
+    if processors < 1:
+        raise ValueError("need at least 1 processor")
+    if ta_sync is None:
+        ta_sync = processors * ta
+    return nfe / processors * (tf + processors * tc + ta_sync)
+
+
+def sync_speedup(
+    nfe: int, processors: int, tf: float, tc: float, ta: float
+) -> float:
+    return serial_time(nfe, tf, ta) / sync_parallel_time(
+        nfe, processors, tf, tc, ta
+    )
+
+
+def sync_efficiency(
+    nfe: int, processors: int, tf: float, tc: float, ta: float
+) -> float:
+    return sync_speedup(nfe, processors, tf, tc, ta) / processors
+
+
+def expected_generation_max(
+    mean_tf: float, cv: float, processors: int
+) -> float:
+    """Expected per-generation evaluation cost of the synchronous model
+    with stochastic TF: E[max of P normal draws].
+
+    Uses the asymptotic extreme-value approximation
+    ``E[max] ~ mu + sigma sqrt(2 ln P)``, accurate for the moderate P
+    and mild CVs this study covers.  The asynchronous model pays E[TF]
+    instead -- this gap is §VI-B's final observation.
+    """
+    if processors < 1:
+        raise ValueError("need at least 1 processor")
+    if processors == 1:
+        return mean_tf
+    sigma = mean_tf * cv
+    return mean_tf + sigma * math.sqrt(2.0 * math.log(processors))
+
+
+@dataclass(frozen=True)
+class SynchronousModel:
+    """Eq. 6 bundled for one operating point."""
+
+    tf: float
+    tc: float
+    ta: float
+    #: TF coefficient of variation for the straggler-aware variant.
+    tf_cv: float = 0.0
+
+    def parallel_time(
+        self, nfe: int, processors: int, stragglers: bool = False
+    ) -> float:
+        tf = (
+            expected_generation_max(self.tf, self.tf_cv, processors)
+            if stragglers and self.tf_cv > 0
+            else self.tf
+        )
+        return sync_parallel_time(nfe, processors, tf, self.tc, self.ta)
+
+    def serial_time(self, nfe: int) -> float:
+        return serial_time(nfe, self.tf, self.ta)
+
+    def speedup(self, nfe: int, processors: int, stragglers: bool = False) -> float:
+        return self.serial_time(nfe) / self.parallel_time(
+            nfe, processors, stragglers=stragglers
+        )
+
+    def efficiency(
+        self, nfe: int, processors: int, stragglers: bool = False
+    ) -> float:
+        return self.speedup(nfe, processors, stragglers=stragglers) / processors
+
+    def efficiency_surface(
+        self,
+        tf_values: np.ndarray,
+        processor_values: np.ndarray,
+        nfe: int = 10_000,
+        stragglers: bool = False,
+    ) -> np.ndarray:
+        """Efficiency grid over (TF, P) -- Figure 5(a)'s data."""
+        surface = np.empty((len(tf_values), len(processor_values)))
+        for i, tf in enumerate(tf_values):
+            model = SynchronousModel(tf, self.tc, self.ta, self.tf_cv)
+            for j, p in enumerate(processor_values):
+                surface[i, j] = model.efficiency(
+                    nfe, int(p), stragglers=stragglers
+                )
+        return surface

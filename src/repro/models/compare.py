@@ -1,0 +1,69 @@
+"""Model-versus-experiment comparison (paper Eq. 5 and Table II rows)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stats.descriptive import relative_error
+
+__all__ = ["ModelComparison", "compare_models"]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """One Table II row: experiment vs analytical vs simulation."""
+
+    problem: str
+    processors: int
+    ta: float
+    tc: float
+    tf: float
+    experimental_time: float
+    experimental_efficiency: float
+    analytical_time: float
+    analytical_error: float
+    simulation_time: float
+    simulation_error: float
+
+    def as_row(self) -> tuple:
+        """Values in the paper's column order."""
+        return (
+            self.problem,
+            self.processors,
+            self.ta,
+            self.tc,
+            self.tf,
+            self.experimental_time,
+            self.experimental_efficiency,
+            self.analytical_time,
+            self.analytical_error,
+            self.simulation_time,
+            self.simulation_error,
+        )
+
+
+def compare_models(
+    problem: str,
+    processors: int,
+    ta: float,
+    tc: float,
+    tf: float,
+    experimental_time: float,
+    experimental_efficiency: float,
+    analytical_time: float,
+    simulation_time: float,
+) -> ModelComparison:
+    """Assemble one comparison row, computing Eq. 5 errors."""
+    return ModelComparison(
+        problem=problem,
+        processors=processors,
+        ta=ta,
+        tc=tc,
+        tf=tf,
+        experimental_time=experimental_time,
+        experimental_efficiency=experimental_efficiency,
+        analytical_time=analytical_time,
+        analytical_error=relative_error(experimental_time, analytical_time),
+        simulation_time=simulation_time,
+        simulation_error=relative_error(experimental_time, simulation_time),
+    )

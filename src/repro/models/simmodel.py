@@ -1,0 +1,226 @@
+"""The simulation model (paper §IV-B): timing-only master-slave runs.
+
+This is the direct counterpart of the paper's SimPy 2.3 model, rebuilt
+on :mod:`repro.simkit`.  "The structure of the simulation model is
+identical to that of the Borg MOEA.  However, instead of actually
+performing the calculations or sending messages, the simulation model
+holds the resources for a set amount of time" -- workers *request* the
+master, the master is *held* for TC + TA + TC, then *released* and the
+worker is re-activated with a fresh TF hold.
+
+Unlike the analytical model, the simulation model captures resource
+contention: when results arrive faster than the master can turn them
+around, workers queue, which is exactly the regime (small TF, large P)
+where Table II shows the analytical model failing.
+
+The module also provides steady-state extrapolation so Ranger-scale
+runs (N = 100,000, P = 16,384) are predicted from a truncated
+simulation in milliseconds rather than simulating every evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..simkit import Environment, Resource
+from ..stats.timing import TimingModel
+
+__all__ = ["SimulationOutcome", "simulate_async", "simulate_sync", "predict_async_time", "predict_sync_time"]
+
+
+@dataclass(frozen=True)
+class SimulationOutcome:
+    """Timing prediction from one simulation-model run."""
+
+    elapsed: float
+    nfe: int
+    processors: int
+    master_busy: float
+    master_mean_wait: float
+    master_max_queue: int
+    #: (nfe, time) checkpoints used for steady-state extrapolation.
+    checkpoints: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def master_utilization(self) -> float:
+        return self.master_busy / self.elapsed if self.elapsed > 0 else 0.0
+
+    def efficiency(self, serial_time: float) -> float:
+        """E_P = T_S / (P T_P)."""
+        if self.elapsed <= 0:
+            return float("nan")
+        return serial_time / (self.processors * self.elapsed)
+
+
+def simulate_async(
+    processors: int,
+    max_nfe: int,
+    timing: TimingModel,
+    seed: Optional[int] = None,
+) -> SimulationOutcome:
+    """Simulate the asynchronous master-slave pipeline for ``max_nfe``
+    evaluations; no algorithm state, only sampled holds.
+    """
+    if processors < 2:
+        raise ValueError("need at least 2 processors")
+    if max_nfe < 1:
+        raise ValueError("max_nfe must be >= 1")
+
+    env = Environment()
+    master = Resource(env, capacity=1)
+    rng = np.random.default_rng(seed)
+    done = env.event()
+    state = {"nfe": 0}
+    quarter = max(1, max_nfe // 4)
+    checkpoints: list[tuple[int, float]] = []
+
+    def worker(env: Environment):
+        # Initial dispatch: master generates (TA) and sends (TC).
+        with master.request() as req:
+            yield req
+            yield env.timeout(timing.sample_ta(rng) + timing.sample_tc(rng))
+        while not done.triggered:
+            yield env.timeout(timing.sample_tf(rng))
+            with master.request() as req:
+                yield req
+                if done.triggered:
+                    return
+                # The paper's hold: sampleTc() + sampleTa() + sampleTc().
+                yield env.timeout(
+                    timing.sample_tc(rng)
+                    + timing.sample_ta(rng)
+                    + timing.sample_tc(rng)
+                )
+                state["nfe"] += 1
+                if state["nfe"] % quarter == 0:
+                    checkpoints.append((state["nfe"], env.now))
+                if state["nfe"] >= max_nfe:
+                    if not done.triggered:
+                        done.succeed(env.now)
+                    return
+
+    for _ in range(processors - 1):
+        env.process(worker(env))
+    elapsed = float(env.run(until=done))
+
+    return SimulationOutcome(
+        elapsed=elapsed,
+        nfe=state["nfe"],
+        processors=processors,
+        master_busy=master.busy_time,
+        master_mean_wait=master.mean_wait(),
+        master_max_queue=master.max_queue_length,
+        checkpoints=tuple(checkpoints),
+    )
+
+
+def simulate_sync(
+    processors: int,
+    max_nfe: int,
+    timing: TimingModel,
+    seed: Optional[int] = None,
+) -> SimulationOutcome:
+    """Simulate the synchronous (generational) pipeline: dispatch P-1,
+    master evaluates one itself, barrier, P sequential TA holds."""
+    if processors < 2:
+        raise ValueError("need at least 2 processors")
+    if max_nfe < 1:
+        raise ValueError("max_nfe must be >= 1")
+
+    env = Environment()
+    master = Resource(env, capacity=1)
+    rng = np.random.default_rng(seed)
+    state = {"nfe": 0}
+    quarter = max(1, max_nfe // 4)
+    checkpoints: list[tuple[int, float]] = []
+
+    def worker_generation(env: Environment, done_ev):
+        yield env.timeout(timing.sample_tf(rng))
+        with master.request() as req:
+            yield req
+            yield env.timeout(timing.sample_tc(rng))
+        done_ev.succeed(None)
+
+    def master_proc(env: Environment):
+        while state["nfe"] < max_nfe:
+            done_events = []
+            with master.request() as req:
+                yield req
+                for _ in range(processors - 1):
+                    yield env.timeout(timing.sample_tc(rng))
+                    ev = env.event()
+                    env.process(worker_generation(env, ev))
+                    done_events.append(ev)
+                yield env.timeout(timing.sample_tf(rng))
+            yield env.all_of(done_events)
+            with master.request() as req:
+                yield req
+                for _ in range(processors):
+                    yield env.timeout(timing.sample_ta(rng))
+                    state["nfe"] += 1
+                    if state["nfe"] % quarter == 0:
+                        checkpoints.append((state["nfe"], env.now))
+                    if state["nfe"] >= max_nfe:
+                        break
+        return env.now
+
+    proc = env.process(master_proc(env))
+    elapsed = float(env.run(until=proc))
+
+    return SimulationOutcome(
+        elapsed=elapsed,
+        nfe=state["nfe"],
+        processors=processors,
+        master_busy=master.busy_time,
+        master_mean_wait=master.mean_wait(),
+        master_max_queue=master.max_queue_length,
+        checkpoints=tuple(checkpoints),
+    )
+
+
+def _extrapolate(outcome: SimulationOutcome, target_nfe: int) -> float:
+    """Project a truncated simulation to ``target_nfe`` evaluations
+    using the steady-state rate between the first and last checkpoint
+    (discarding the pipeline-fill transient)."""
+    if outcome.nfe >= target_nfe:
+        return outcome.elapsed
+    if len(outcome.checkpoints) >= 2:
+        (n0, t0), (n1, t1) = outcome.checkpoints[0], outcome.checkpoints[-1]
+        if n1 > n0:
+            rate = (t1 - t0) / (n1 - n0)
+            return t1 + rate * (target_nfe - n1)
+    return outcome.elapsed * target_nfe / max(1, outcome.nfe)
+
+
+def predict_async_time(
+    processors: int,
+    nfe: int,
+    timing: TimingModel,
+    seed: Optional[int] = None,
+    sim_nfe: Optional[int] = None,
+) -> float:
+    """Predicted asynchronous runtime for ``nfe`` evaluations.
+
+    Simulates ``sim_nfe`` evaluations (default: enough for every worker
+    to cycle ~8 times, at least 2,000) and extrapolates at the
+    steady-state throughput.
+    """
+    budget = sim_nfe or max(2000, 8 * (processors - 1))
+    outcome = simulate_async(processors, min(nfe, budget), timing, seed=seed)
+    return _extrapolate(outcome, nfe)
+
+
+def predict_sync_time(
+    processors: int,
+    nfe: int,
+    timing: TimingModel,
+    seed: Optional[int] = None,
+    sim_nfe: Optional[int] = None,
+) -> float:
+    """Predicted synchronous runtime for ``nfe`` evaluations."""
+    budget = sim_nfe or max(2000, 8 * processors)
+    outcome = simulate_sync(processors, min(nfe, budget), timing, seed=seed)
+    return _extrapolate(outcome, nfe)

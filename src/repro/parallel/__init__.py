@@ -1,0 +1,41 @@
+"""Master-slave parallel Borg MOEA (the paper's parallel algorithm).
+
+Backends:
+
+* virtual clock (:func:`run_async_master_slave`,
+  :func:`run_sync_master_slave`) -- the Ranger-scale experiments;
+* threads / processes -- real local parallelism;
+* MPI (:mod:`repro.parallel.mpi`) -- cluster deployment via mpi4py;
+* topologies (:mod:`repro.parallel.topology`) -- hierarchical
+  multi-master sizing and the island-model preview.
+"""
+
+from .results import ParallelRunResult
+from .runner import BACKENDS, optimize
+from .threads import run_threaded_master_slave
+from .processes import run_process_master_slave
+from .topology import (
+    IslandResult,
+    MultiMasterResult,
+    TopologyPlan,
+    run_island_model,
+    run_multi_master,
+    suggest_partition,
+)
+from .virtual import run_async_master_slave, run_sync_master_slave
+
+__all__ = [
+    "ParallelRunResult",
+    "optimize",
+    "BACKENDS",
+    "run_async_master_slave",
+    "run_sync_master_slave",
+    "run_threaded_master_slave",
+    "run_process_master_slave",
+    "TopologyPlan",
+    "suggest_partition",
+    "MultiMasterResult",
+    "run_multi_master",
+    "IslandResult",
+    "run_island_model",
+]

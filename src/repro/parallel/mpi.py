@@ -1,0 +1,150 @@
+"""MPI master-slave Borg (mpi4py), mirroring the paper's C/OpenMPI code.
+
+This backend is provided for completeness: the study's original
+implementation ran over OpenMPI on TACC Ranger, and this module maps
+the same protocol onto ``mpi4py`` so the library can be deployed on a
+real cluster unchanged.  It is *not* exercised by the test suite in
+this repository because mpi4py is not installed here (see DESIGN.md);
+the virtual and process backends cover the protocol logic.
+
+Run with::
+
+    mpiexec -n 16 python -m repro.parallel.mpi --problem dtlz2 --nfe 100000
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.borg import BorgConfig, BorgEngine
+from ..core.events import RunHistory
+from ..core.solution import Solution
+from ..problems.base import Problem
+from .results import ParallelRunResult
+
+__all__ = ["run_mpi_master_slave", "TAG_WORK", "TAG_RESULT", "TAG_STOP"]
+
+TAG_WORK = 1
+TAG_RESULT = 2
+TAG_STOP = 3
+
+
+def _require_mpi():
+    try:
+        from mpi4py import MPI  # noqa: PLC0415
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise RuntimeError(
+            "the MPI backend requires mpi4py (pip install repro[mpi])"
+        ) from exc
+    return MPI
+
+
+def run_mpi_master_slave(
+    problem: Problem,
+    max_nfe: int,
+    config: Optional[BorgConfig] = None,
+    seed: Optional[int] = None,
+    snapshot_interval: Optional[int] = None,
+) -> Optional[ParallelRunResult]:
+    """Asynchronous master-slave Borg over MPI ranks.
+
+    Rank 0 is the master and returns the :class:`ParallelRunResult`;
+    worker ranks return ``None``.  Decision vectors travel master ->
+    worker with ``TAG_WORK``; packed ``[objectives, constraints]``
+    arrays travel back with ``TAG_RESULT`` -- constant-size payloads,
+    exactly the message pattern whose latency the paper measured as TC.
+    """
+    MPI = _require_mpi()
+    comm = MPI.COMM_WORLD
+    rank = comm.Get_rank()
+    size = comm.Get_size()
+    if size < 2:
+        raise RuntimeError("MPI master-slave needs at least 2 ranks")
+
+    if rank != 0:
+        _mpi_worker_loop(MPI, comm, problem)
+        return None
+
+    cfg = config or BorgConfig()
+    engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
+    history = RunHistory(
+        snapshot_interval=snapshot_interval or cfg.snapshot_interval
+    )
+    nworkers = size - 1
+    in_flight: dict[int, Solution] = {}
+    worker_evals = np.zeros(nworkers, dtype=int)
+    status = MPI.Status()
+    start = time.perf_counter()
+
+    def dispatch(worker_rank: int) -> None:
+        candidate = engine.next_candidate()
+        in_flight[worker_rank] = candidate
+        comm.Send(
+            [np.ascontiguousarray(candidate.variables), MPI.DOUBLE],
+            dest=worker_rank,
+            tag=TAG_WORK,
+        )
+
+    payload = np.empty(problem.nobjs + problem.nconstraints, dtype=float)
+    for w in range(1, size):
+        dispatch(w)
+    while engine.nfe < max_nfe:
+        comm.Recv([payload, MPI.DOUBLE], source=MPI.ANY_SOURCE, tag=TAG_RESULT, status=status)
+        w = status.Get_source()
+        candidate = in_flight.pop(w)
+        candidate.objectives = payload[: problem.nobjs].copy()
+        if problem.nconstraints:
+            candidate.constraints = payload[problem.nobjs :].copy()
+        problem.evaluations += 1
+        engine.ingest(candidate)
+        worker_evals[w - 1] += 1
+        history.maybe_record(
+            engine.nfe,
+            time.perf_counter() - start,
+            engine.archive._objectives,
+            engine.restarts,
+        )
+        if engine.nfe + len(in_flight) < max_nfe:
+            dispatch(w)
+
+    for w in range(1, size):
+        comm.Send(
+            [np.empty(problem.nvars), MPI.DOUBLE], dest=w, tag=TAG_STOP
+        )
+
+    elapsed = time.perf_counter() - start
+    history.maybe_record(
+        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+    )
+    history.total_nfe = engine.nfe
+    history.total_restarts = engine.restarts
+    history.elapsed = elapsed
+    return ParallelRunResult(
+        elapsed=elapsed,
+        nfe=engine.nfe,
+        processors=size,
+        borg=engine.result(history),
+        history=history,
+        worker_evaluations=worker_evals,
+    )
+
+
+def _mpi_worker_loop(MPI, comm, problem: Problem) -> None:
+    """Worker rank: evaluate decision vectors until TAG_STOP."""
+    status = MPI.Status()
+    x = np.empty(problem.nvars, dtype=float)
+    payload = np.empty(problem.nobjs + problem.nconstraints, dtype=float)
+    while True:
+        comm.Recv([x, MPI.DOUBLE], source=0, tag=MPI.ANY_TAG, status=status)
+        if status.Get_tag() == TAG_STOP:
+            return
+        payload[: problem.nobjs] = problem._evaluate(x)
+        constraints = problem._evaluate_constraints(x)
+        if constraints is not None:
+            payload[problem.nobjs :] = constraints
+        if hasattr(problem, "real_delay") and problem.real_delay:
+            time.sleep(problem.sample_evaluation_time())
+        comm.Send([payload, MPI.DOUBLE], dest=0, tag=TAG_RESULT)

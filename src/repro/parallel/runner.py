@@ -1,0 +1,80 @@
+"""High-level facade: one call to run Borg on any backend.
+
+``optimize`` is the function a downstream user reaches for first::
+
+    from repro.parallel import optimize
+    from repro.problems import DTLZ2
+
+    result = optimize(DTLZ2(nobjs=5), max_nfe=10_000, backend="serial", seed=1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.borg import BorgConfig, BorgMOEA, BorgResult
+from ..problems.base import Problem
+from ..stats.timing import TimingModel, constant_timing
+from .processes import run_process_master_slave
+from .results import ParallelRunResult
+from .threads import run_threaded_master_slave
+from .virtual import run_async_master_slave, run_sync_master_slave
+
+__all__ = ["optimize", "BACKENDS"]
+
+BACKENDS = (
+    "serial",
+    "virtual-async",
+    "virtual-sync",
+    "threads",
+    "threads-sync",
+    "processes",
+)
+
+
+def optimize(
+    problem: Problem,
+    max_nfe: int,
+    backend: str = "serial",
+    processors: int = 8,
+    timing: Optional[TimingModel] = None,
+    config: Optional[BorgConfig] = None,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> BorgResult | ParallelRunResult:
+    """Run the Borg MOEA on the selected backend.
+
+    ``serial`` returns a :class:`BorgResult`; every parallel backend
+    returns a :class:`ParallelRunResult` (its ``.borg`` attribute holds
+    the equivalent :class:`BorgResult`).  Virtual backends need a
+    ``timing`` model; a featureless default (1 ms TF, zero overheads)
+    is used when omitted.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+    if backend == "serial":
+        return BorgMOEA(problem, config=config, seed=seed).run(max_nfe)
+
+    if backend in ("virtual-async", "virtual-sync"):
+        if timing is None:
+            timing = constant_timing(tf=1e-3, tc=0.0, ta=0.0, label="default")
+        runner = (
+            run_async_master_slave
+            if backend == "virtual-async"
+            else run_sync_master_slave
+        )
+        return runner(
+            problem, processors, max_nfe, timing,
+            config=config, seed=seed, **kwargs,
+        )
+
+    if backend in ("threads", "threads-sync"):
+        return run_threaded_master_slave(
+            problem, processors, max_nfe,
+            config=config, seed=seed, sync=(backend == "threads-sync"), **kwargs,
+        )
+
+    return run_process_master_slave(
+        problem, processors, max_nfe, config=config, seed=seed, **kwargs
+    )

@@ -1,0 +1,162 @@
+"""Thread-backed master-slave Borg: real concurrency, wall-clock time.
+
+The virtual backends reproduce Ranger-scale behaviour; this backend
+demonstrates the same master/worker protocol with genuine OS threads on
+the local machine.  Useful for laptop-scale demos (pair it with
+``TimedProblem(real_delay=True)`` so TF means something) and for
+exercising the protocol under true nondeterministic interleaving in
+tests.
+
+The GIL serialises Python bytecode, but evaluation here is either
+numpy-bound or sleep-bound, both of which release the GIL, so worker
+threads do overlap usefully.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..core.borg import BorgConfig, BorgEngine
+from ..core.events import RunHistory
+from ..core.solution import Solution
+from ..problems.base import Problem
+from ..simkit.monitor import TallyMonitor
+from .results import ParallelRunResult
+
+__all__ = ["run_threaded_master_slave"]
+
+_STOP = object()
+
+
+def run_threaded_master_slave(
+    problem: Problem,
+    processors: int,
+    max_nfe: int,
+    config: Optional[BorgConfig] = None,
+    seed: Optional[int] = None,
+    snapshot_interval: Optional[int] = None,
+    sync: bool = False,
+) -> ParallelRunResult:
+    """Asynchronous (or generational, with ``sync=True``) master-slave
+    Borg on ``processors - 1`` worker threads.
+
+    The master thread owns the engine exclusively; workers only
+    evaluate.  Shared state is limited to two queues, so no locks are
+    needed around algorithm state.
+    """
+    if processors < 2:
+        raise ValueError("need at least 2 processors (master + 1 worker)")
+    if max_nfe < 1:
+        raise ValueError("max_nfe must be >= 1")
+    cfg = config or BorgConfig()
+    engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
+    history = RunHistory(
+        snapshot_interval=snapshot_interval or cfg.snapshot_interval
+    )
+    nworkers = processors - 1
+    tasks: "queue.Queue" = queue.Queue()
+    results: "queue.Queue" = queue.Queue()
+    worker_evals = np.zeros(nworkers, dtype=int)
+    observed = {"tf": TallyMonitor()}
+    eval_lock = threading.Lock()
+    problem_is_timed = hasattr(problem, "real_delay") and hasattr(
+        problem, "sample_evaluation_time"
+    )
+
+    def worker(wid: int) -> None:
+        while True:
+            item = tasks.get()
+            if item is _STOP:
+                return
+            candidate: Solution = item
+            t0 = time.perf_counter()
+            x = candidate.variables
+            objectives = problem._evaluate(x)
+            constraints = problem._evaluate_constraints(x)
+            if problem_is_timed and problem.real_delay:
+                # The delay RNG is shared; sample under the lock, sleep
+                # outside it so delays genuinely overlap.
+                with eval_lock:
+                    delay = problem.sample_evaluation_time()
+                time.sleep(delay)
+            # Shared mutable state (evaluation counter) is guarded; the
+            # candidate itself is exclusively owned by this worker.
+            with eval_lock:
+                candidate.objectives = np.asarray(objectives, dtype=float)
+                if constraints is not None:
+                    candidate.constraints = np.asarray(constraints, dtype=float)
+                problem.evaluations += 1
+            observed["tf"].record(time.perf_counter() - t0)
+            results.put((wid, candidate))
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True, name=f"borg-worker-{w}")
+        for w in range(nworkers)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+
+    def dispatch() -> None:
+        tasks.put(engine.next_candidate())
+
+    def collect_one() -> None:
+        wid, solution = results.get()
+        engine.ingest(solution)
+        worker_evals[wid] += 1
+        history.maybe_record(
+            engine.nfe,
+            time.perf_counter() - start,
+            engine.archive._objectives,
+            engine.restarts,
+        )
+
+    try:
+        if sync:
+            # Generational: batches of nworkers, full barrier between.
+            while engine.nfe < max_nfe:
+                batch = min(nworkers, max_nfe - engine.nfe)
+                for _ in range(batch):
+                    dispatch()
+                for _ in range(batch):
+                    collect_one()
+        else:
+            # Asynchronous steady state: refill as results return.
+            in_flight = 0
+            for _ in range(nworkers):
+                dispatch()
+                in_flight += 1
+            while engine.nfe < max_nfe:
+                collect_one()
+                in_flight -= 1
+                if engine.nfe + in_flight < max_nfe:
+                    dispatch()
+                    in_flight += 1
+    finally:
+        for _ in threads:
+            tasks.put(_STOP)
+        for t in threads:
+            t.join(timeout=10.0)
+
+    elapsed = time.perf_counter() - start
+    history.maybe_record(
+        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+    )
+    history.total_nfe = engine.nfe
+    history.total_restarts = engine.restarts
+    history.elapsed = elapsed
+
+    return ParallelRunResult(
+        elapsed=elapsed,
+        nfe=engine.nfe,
+        processors=processors,
+        borg=engine.result(history),
+        history=history,
+        worker_evaluations=worker_evals,
+        observed=observed,
+    )

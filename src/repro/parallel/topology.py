@@ -1,0 +1,308 @@
+"""Parallel topology design: hierarchical multi-master and island models.
+
+Paper §VI observes that when P is large and TF small, a single
+master-slave instance saturates its master, and suggests running
+several smaller concurrently-running master-slave instances sized with
+the simulation model; §VII names the adaptive island model as future
+work.  This module implements both:
+
+* :func:`suggest_partition` -- uses the simulation model to choose the
+  per-instance processor count that maximises efficiency, then packs
+  the available processors with instances of that size;
+* :func:`run_multi_master` -- concurrent independent master-slave
+  instances whose epsilon-archives are merged at the end;
+* :func:`run_island_model` -- the future-work preview: instances run in
+  a single virtual clock and periodically exchange archive members
+  around a ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.archive import EpsilonBoxArchive
+from ..core.borg import BorgConfig, BorgEngine
+from ..models.analytical import serial_time
+from ..models.simmodel import predict_async_time
+from ..problems.base import Problem
+from ..simkit import Environment, Resource
+from ..stats.timing import TimingModel
+from .results import ParallelRunResult
+from .virtual import run_async_master_slave
+
+__all__ = [
+    "TopologyPlan",
+    "suggest_partition",
+    "run_multi_master",
+    "MultiMasterResult",
+    "run_island_model",
+    "IslandResult",
+]
+
+_DEFAULT_CANDIDATES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """A hierarchical decomposition of a processor allocation."""
+
+    total_processors: int
+    instances: int
+    processors_per_instance: int
+    predicted_efficiency: float
+    #: Processors left unused by the packing.
+    leftover: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.instances} instance(s) x {self.processors_per_instance} "
+            f"processors (predicted efficiency "
+            f"{self.predicted_efficiency:.2f}, {self.leftover} spare)"
+        )
+
+
+def suggest_partition(
+    total_processors: int,
+    timing: TimingModel,
+    nfe: int = 10_000,
+    candidates: Sequence[int] = _DEFAULT_CANDIDATES,
+    seed: int = 0,
+) -> TopologyPlan:
+    """Size master-slave instances with the simulation model (§VI).
+
+    Evaluates the predicted efficiency of each candidate instance size
+    and returns the plan with the highest per-instance efficiency,
+    breaking ties toward larger instances (fewer redundant masters).
+    """
+    if total_processors < 2:
+        raise ValueError("need at least 2 processors")
+    best: Optional[TopologyPlan] = None
+    for p in sorted(set(candidates)):
+        if p < 2 or p > total_processors:
+            continue
+        # Efficiency is intensive: probe each candidate with an NFE
+        # budget proportional to its worker count so the pipeline-fill
+        # transient never biases the comparison toward small instances.
+        nfe_cell = max(nfe, 100 * (p - 1))
+        ts = serial_time(nfe_cell, timing.mean_tf, timing.mean_ta)
+        tp = predict_async_time(
+            p, nfe_cell, timing, seed=seed, sim_nfe=max(2000, 4 * (p - 1))
+        )
+        eff = ts / (p * tp) if tp > 0 else 0.0
+        plan = TopologyPlan(
+            total_processors=total_processors,
+            instances=total_processors // p,
+            processors_per_instance=p,
+            predicted_efficiency=eff,
+            leftover=total_processors % p,
+        )
+        if (
+            best is None
+            or plan.predicted_efficiency > best.predicted_efficiency + 1e-9
+            or (
+                abs(plan.predicted_efficiency - best.predicted_efficiency) <= 1e-9
+                and p > best.processors_per_instance
+            )
+        ):
+            best = plan
+    if best is None:
+        raise ValueError(
+            f"no candidate instance size fits {total_processors} processors"
+        )
+    return best
+
+
+@dataclass
+class MultiMasterResult:
+    """Outcome of several concurrent independent instances."""
+
+    instances: list[ParallelRunResult]
+    #: Union archive of all instances under the shared epsilons.
+    merged_archive: EpsilonBoxArchive
+    #: Wall time of the topology = the slowest instance.
+    elapsed: float
+    total_nfe: int
+
+    @property
+    def merged_objectives(self) -> np.ndarray:
+        return self.merged_archive.objectives
+
+
+def run_multi_master(
+    problem_factory,
+    plan: TopologyPlan,
+    max_nfe_per_instance: int,
+    timing: TimingModel,
+    config: Optional[BorgConfig] = None,
+    seed: int = 0,
+) -> MultiMasterResult:
+    """Run ``plan.instances`` independent virtual master-slave Borgs and
+    merge their archives.
+
+    ``problem_factory()`` must build a fresh problem per instance (the
+    evaluation counters are per-instance).
+    """
+    results = []
+    for i in range(plan.instances):
+        problem = problem_factory()
+        results.append(
+            run_async_master_slave(
+                problem,
+                plan.processors_per_instance,
+                max_nfe_per_instance,
+                timing,
+                config=config,
+                seed=seed + 7919 * i,
+            )
+        )
+    if not results:
+        raise ValueError("plan contains no instances")
+    epsilons = results[0].borg.archive.epsilons
+    merged = EpsilonBoxArchive(epsilons)
+    for r in results:
+        for solution in r.borg.archive:
+            merged.add(solution)
+    return MultiMasterResult(
+        instances=results,
+        merged_archive=merged,
+        elapsed=max(r.elapsed for r in results),
+        total_nfe=sum(r.nfe for r in results),
+    )
+
+
+@dataclass
+class IslandResult:
+    """Outcome of the island-model run."""
+
+    elapsed: float
+    total_nfe: int
+    islands: int
+    processors_per_island: int
+    migrations: int
+    merged_archive: EpsilonBoxArchive
+    per_island_nfe: list[int] = field(default_factory=list)
+
+    @property
+    def merged_objectives(self) -> np.ndarray:
+        return self.merged_archive.objectives
+
+
+def run_island_model(
+    problem_factory,
+    islands: int,
+    processors_per_island: int,
+    max_nfe_per_island: int,
+    timing: TimingModel,
+    config: Optional[BorgConfig] = None,
+    seed: int = 0,
+    migration_interval: Optional[float] = None,
+) -> IslandResult:
+    """Island-model Borg on one shared virtual clock (§VII preview).
+
+    Each island is a full asynchronous master-slave instance; every
+    ``migration_interval`` virtual seconds each island sends a random
+    archive member to the next island around a ring, where it is
+    ingested as if freshly evaluated (cost-free abstraction: migration
+    messages are assumed to overlap with evaluation).
+    """
+    if islands < 1:
+        raise ValueError("need at least one island")
+    if processors_per_island < 2:
+        raise ValueError("each island needs a master and a worker")
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    trng = np.random.default_rng(seed + 0x5EED)
+    problems = [problem_factory() for _ in range(islands)]
+    engines = [
+        BorgEngine(
+            problems[i],
+            config or BorgConfig(),
+            rng=np.random.default_rng(seed + 104729 * (i + 1)),
+        )
+        for i in range(islands)
+    ]
+    masters = [Resource(env, capacity=1) for _ in range(islands)]
+    done_events = [env.event() for _ in range(islands)]
+    migrations = {"count": 0}
+
+    if migration_interval is None:
+        # A handful of migration epochs per run by default.
+        horizon_guess = (
+            max_nfe_per_island
+            / max(1, processors_per_island - 1)
+            * (timing.mean_tf + 2 * timing.mean_tc + timing.mean_ta)
+        )
+        migration_interval = max(horizon_guess / 8.0, 1e-9)
+
+    def worker(env, island: int, wid: int):
+        engine = engines[island]
+        problem = problems[island]
+        master = masters[island]
+        done = done_events[island]
+        with master.request() as req:
+            yield req
+            yield env.timeout(timing.sample_ta(trng) + timing.sample_tc(trng))
+            candidate = engine.next_candidate()
+        while not done.triggered:
+            yield env.timeout(timing.sample_tf(trng))
+            problem.evaluate(candidate)
+            with master.request() as req:
+                yield req
+                if done.triggered:
+                    return
+                yield env.timeout(
+                    timing.sample_tc(trng)
+                    + timing.sample_ta(trng)
+                    + timing.sample_tc(trng)
+                )
+                engine.ingest(candidate)
+                if engine.nfe >= max_nfe_per_island:
+                    if not done.triggered:
+                        done.succeed(env.now)
+                    return
+                candidate = engine.next_candidate()
+
+    def migrator(env):
+        all_done = env.all_of(done_events)
+        while not all_done.triggered:
+            yield env.timeout(migration_interval)
+            for i, engine in enumerate(engines):
+                if len(engine.archive) == 0:
+                    continue
+                neighbour = engines[(i + 1) % islands]
+                migrant = engine.archive.sample(rng).copy()
+                migrant.operator = "migration"
+                # Insert directly: a migrant is already evaluated, so it
+                # must not advance the neighbour's NFE budget.
+                if len(neighbour.population):
+                    neighbour.population.add(migrant, rng)
+                else:
+                    neighbour.population.append(migrant)
+                neighbour.archive.add(migrant)
+                migrations["count"] += 1
+
+    for i in range(islands):
+        for w in range(processors_per_island - 1):
+            env.process(worker(env, i, w), name=f"island{i}-worker{w}")
+    if islands > 1:
+        env.process(migrator(env), name="migrator")
+    finished = env.all_of(done_events)
+    env.run(until=finished)
+    elapsed = env.now
+
+    merged = EpsilonBoxArchive(engines[0].archive.epsilons)
+    for engine in engines:
+        for solution in engine.archive:
+            merged.add(solution)
+    return IslandResult(
+        elapsed=float(elapsed),
+        total_nfe=sum(e.nfe for e in engines),
+        islands=islands,
+        processors_per_island=processors_per_island,
+        migrations=migrations["count"],
+        merged_archive=merged,
+        per_island_nfe=[e.nfe for e in engines],
+    )

@@ -1,0 +1,59 @@
+"""Analytical and engineering test problems.
+
+The paper's two benchmarks are :class:`DTLZ2` (easy, separable) and
+:class:`UF11` (hard, rotated/non-separable), both with five objectives.
+:class:`TimedProblem` attaches the controlled evaluation delays of §V.
+"""
+
+from .base import FunctionProblem, Problem
+from .delays import TimedProblem
+from .dtlz import DTLZ1, DTLZ2, DTLZ3, DTLZ4
+from .gaa import AircraftDesign
+from .lake import LakeProblem
+from .rotation import random_rotation, random_scaling
+from .uf import UF1, UF2, UF11, UF12, RotatedProblem
+from .uf_extended import UF3, UF4, UF5, UF6, UF7, UF8, UF9, UF10
+from .wfg import UF13, WFG1, WFG2, WFG3, WFG4, WFG5, WFG6, WFG7, WFG8, WFG9
+from .zdt import ZDT1, ZDT2, ZDT3, ZDT4, ZDT6
+
+__all__ = [
+    "Problem",
+    "FunctionProblem",
+    "TimedProblem",
+    "DTLZ1",
+    "DTLZ2",
+    "DTLZ3",
+    "DTLZ4",
+    "UF1",
+    "UF2",
+    "UF3",
+    "UF4",
+    "UF5",
+    "UF6",
+    "UF7",
+    "UF8",
+    "UF9",
+    "UF10",
+    "UF11",
+    "UF12",
+    "UF13",
+    "WFG1",
+    "WFG2",
+    "WFG3",
+    "WFG4",
+    "WFG5",
+    "WFG6",
+    "WFG7",
+    "WFG8",
+    "WFG9",
+    "RotatedProblem",
+    "ZDT1",
+    "ZDT2",
+    "ZDT3",
+    "ZDT4",
+    "ZDT6",
+    "AircraftDesign",
+    "LakeProblem",
+    "random_rotation",
+    "random_scaling",
+]

@@ -1,0 +1,141 @@
+"""Problem interface for the test suite.
+
+All problems minimise every objective over a box-constrained real
+decision space.  Constraints, when present, are reported as violation
+magnitudes (0 = satisfied).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.solution import Solution
+
+__all__ = ["Problem", "FunctionProblem"]
+
+
+class Problem(ABC):
+    """A box-constrained multiobjective minimisation problem.
+
+    Subclasses implement :meth:`_evaluate` mapping a decision vector to
+    an objective vector (and optionally constraints via
+    :meth:`_evaluate_constraints`).  The public :meth:`evaluate` fills a
+    :class:`Solution` in place and counts function evaluations.
+    """
+
+    def __init__(
+        self,
+        nvars: int,
+        nobjs: int,
+        lower: Optional[Sequence[float]] = None,
+        upper: Optional[Sequence[float]] = None,
+        nconstraints: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if nvars < 1 or nobjs < 1:
+            raise ValueError("need at least one variable and one objective")
+        self.nvars = nvars
+        self.nobjs = nobjs
+        self.nconstraints = nconstraints
+        self.lower = (
+            np.zeros(nvars) if lower is None else np.asarray(lower, dtype=float)
+        )
+        self.upper = (
+            np.ones(nvars) if upper is None else np.asarray(upper, dtype=float)
+        )
+        if self.lower.shape != (nvars,) or self.upper.shape != (nvars,):
+            raise ValueError("bounds must have shape (nvars,)")
+        if np.any(self.lower >= self.upper):
+            raise ValueError("each lower bound must be below its upper bound")
+        self.name = name or type(self).__name__
+        #: Number of completed evaluations (monotone counter).
+        self.evaluations = 0
+
+    # -- evaluation -----------------------------------------------------------
+    @abstractmethod
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Objective vector for decision vector ``x`` (within bounds)."""
+
+    def _evaluate_constraints(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Constraint-violation vector; None for unconstrained problems."""
+        return None
+
+    def evaluate(self, solution: Solution) -> Solution:
+        """Evaluate ``solution`` in place and return it."""
+        x = solution.variables
+        if x.shape != (self.nvars,):
+            raise ValueError(
+                f"expected {self.nvars} variables, got shape {x.shape}"
+            )
+        solution.objectives = np.asarray(self._evaluate(x), dtype=float)
+        if solution.objectives.shape != (self.nobjs,):
+            raise ValueError(
+                f"{self.name} returned {solution.objectives.shape} "
+                f"objectives, expected ({self.nobjs},)"
+            )
+        constraints = self._evaluate_constraints(x)
+        if constraints is not None:
+            solution.constraints = np.asarray(constraints, dtype=float)
+        self.evaluations += 1
+        return solution
+
+    # -- helpers --------------------------------------------------------------
+    def random_solution(self, rng: np.random.Generator) -> Solution:
+        """Uniformly random (unevaluated) solution within bounds."""
+        x = self.lower + rng.random(self.nvars) * (self.upper - self.lower)
+        return Solution(x, operator="initial")
+
+    def default_epsilons(self) -> np.ndarray:
+        """Archive resolution used when the caller does not supply one.
+
+        A conservative 1% of the typical objective scale; problem
+        subclasses override with published values where they exist.
+        """
+        return np.full(self.nobjs, 0.01)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.name} nvars={self.nvars} nobjs={self.nobjs} "
+            f"nconstraints={self.nconstraints}>"
+        )
+
+
+class FunctionProblem(Problem):
+    """Adapter turning a plain callable into a :class:`Problem`.
+
+    ``function(x) -> objectives`` with optional
+    ``constraint_function(x) -> violations``.
+    """
+
+    def __init__(
+        self,
+        function,
+        nvars: int,
+        nobjs: int,
+        lower=None,
+        upper=None,
+        constraint_function=None,
+        nconstraints: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            nvars,
+            nobjs,
+            lower,
+            upper,
+            nconstraints=nconstraints,
+            name=name or getattr(function, "__name__", "function"),
+        )
+        self._function = function
+        self._constraint_function = constraint_function
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._function(x), dtype=float)
+
+    def _evaluate_constraints(self, x: np.ndarray):
+        if self._constraint_function is None:
+            return None
+        return np.asarray(self._constraint_function(x), dtype=float)

@@ -1,0 +1,120 @@
+"""The DTLZ scalable test suite (Deb, Thiele, Laumanns & Zitzler 2002).
+
+DTLZ2 with five objectives is the paper's "easy" problem: every decision
+variable is separable, so coordinate-wise operators make steady
+progress.  DTLZ1/3/4 are provided for the wider test suite and the
+examples.
+
+All problems use ``nvars = nobjs + k - 1`` with the customary
+``k = 5`` (DTLZ1) or ``k = 10`` (DTLZ2-4) distance variables, decision
+space ``[0, 1]^nvars``, and minimised objectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Problem
+
+__all__ = ["DTLZ1", "DTLZ2", "DTLZ3", "DTLZ4"]
+
+
+class _DTLZ(Problem):
+    """Shared structure of the DTLZ family."""
+
+    default_k = 10
+
+    def __init__(self, nobjs: int = 5, nvars: int | None = None) -> None:
+        if nobjs < 2:
+            raise ValueError("DTLZ problems need at least 2 objectives")
+        if nvars is None:
+            nvars = nobjs + self.default_k - 1
+        if nvars < nobjs:
+            raise ValueError(
+                f"nvars ({nvars}) must be >= nobjs ({nobjs})"
+            )
+        super().__init__(nvars, nobjs, name=type(self).__name__)
+        #: Number of distance variables (the tail of the vector).
+        self.k = nvars - nobjs + 1
+
+    def default_epsilons(self) -> np.ndarray:
+        # Resolution used in the Borg diagnostic studies for many-
+        # objective DTLZ instances.
+        return np.full(self.nobjs, 0.06 if self.nobjs >= 4 else 0.01)
+
+    def _position_distance(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        m = self.nobjs
+        return x[: m - 1], x[m - 1 :]
+
+
+def _spherical_objectives(theta: np.ndarray, g: float, m: int) -> np.ndarray:
+    """DTLZ2/3/4 shape: products of cosines with a trailing sine."""
+    cos = np.cos(theta * np.pi / 2.0)
+    sin = np.sin(theta * np.pi / 2.0)
+    f = np.empty(m)
+    for j in range(m):
+        prod = np.prod(cos[: m - 1 - j])
+        if j > 0:
+            prod *= sin[m - 1 - j]
+        f[j] = (1.0 + g) * prod
+    return f
+
+
+class DTLZ1(_DTLZ):
+    """Linear Pareto front (hyperplane sum f = 0.5), multimodal g."""
+
+    default_k = 5
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        pos, dist = self._position_distance(x)
+        m = self.nobjs
+        g = 100.0 * (
+            self.k
+            + np.sum((dist - 0.5) ** 2 - np.cos(20.0 * np.pi * (dist - 0.5)))
+        )
+        f = np.empty(m)
+        for j in range(m):
+            prod = np.prod(pos[: m - 1 - j])
+            if j > 0:
+                prod *= 1.0 - pos[m - 1 - j]
+            f[j] = 0.5 * (1.0 + g) * prod
+        return f
+
+
+class DTLZ2(_DTLZ):
+    """Spherical Pareto front (unit hypersphere octant); unimodal g.
+
+    The paper's easy benchmark, run with five objectives.
+    """
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        pos, dist = self._position_distance(x)
+        g = float(np.sum((dist - 0.5) ** 2))
+        return _spherical_objectives(pos, g, self.nobjs)
+
+
+class DTLZ3(_DTLZ):
+    """DTLZ2's sphere with DTLZ1's highly multimodal distance function."""
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        pos, dist = self._position_distance(x)
+        g = 100.0 * (
+            self.k
+            + np.sum((dist - 0.5) ** 2 - np.cos(20.0 * np.pi * (dist - 0.5)))
+        )
+        return _spherical_objectives(pos, g, self.nobjs)
+
+
+class DTLZ4(_DTLZ):
+    """DTLZ2 with biased position variables (x^alpha, alpha=100)."""
+
+    def __init__(self, nobjs: int = 5, nvars: int | None = None, alpha: float = 100.0) -> None:
+        super().__init__(nobjs, nvars)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        pos, dist = self._position_distance(x)
+        g = float(np.sum((dist - 0.5) ** 2))
+        return _spherical_objectives(pos**self.alpha, g, self.nobjs)

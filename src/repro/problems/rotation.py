@@ -1,0 +1,70 @@
+"""Deterministic rotation/scaling matrices for the non-separable problems.
+
+The CEC-2009 competition defined UF11-UF13 through rotation matrices
+shipped as data files with the competition toolkit; those files are not
+redistributable here, so we generate orthogonal matrices
+deterministically from a fixed seed (QR of a Gaussian matrix, with the
+sign convention that makes the factorisation unique and the determinant
++1).  Any seeded matrix induces the same qualitative behaviour the paper
+relies on: rotated coordinates couple the decision variables, defeating
+separable (coordinate-wise) search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_rotation", "rotation_for", "random_scaling"]
+
+
+def random_rotation(n: int, seed: int | np.random.Generator = 0) -> np.ndarray:
+    """A deterministic n x n rotation matrix (orthogonal, det = +1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    a = rng.standard_normal((n, n))
+    q, r = np.linalg.qr(a)
+    # Sign-fix: make diag(r) positive so the factorisation is unique.
+    q = q * np.sign(np.diag(r))
+    if np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def rotation_for(name: str, n: int) -> np.ndarray:
+    """Rotation matrix reproducibly derived from a problem name."""
+    seed = abs(hash_name(name)) % (2**31)
+    return random_rotation(n, seed)
+
+
+def hash_name(name: str) -> int:
+    """Stable (non-salted) string hash for seed derivation."""
+    h = 2166136261
+    for ch in name.encode():
+        h = (h ^ ch) * 16777619 % (2**32)
+    return h
+
+
+def random_scaling(
+    n: int,
+    low: float = 0.5,
+    high: float = 1.0,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Deterministic per-coordinate scaling factors in ``[low, high]``.
+
+    Factors at most 1 guarantee the rotated-and-scaled box stays inside
+    the original box, so the original optimum remains attainable.
+    """
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    return low + (high - low) * rng.random(n)

@@ -1,0 +1,90 @@
+"""The ZDT bi-objective suite (Zitzler, Deb & Thiele 2000).
+
+Two-objective problems with closed-form Pareto fronts -- ideal fodder
+for exact-hypervolume and indicator unit tests, and for cheap examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Problem
+
+__all__ = ["ZDT1", "ZDT2", "ZDT3", "ZDT4", "ZDT6"]
+
+
+class _ZDT(Problem):
+    def __init__(self, nvars: int, lower=None, upper=None) -> None:
+        super().__init__(nvars, 2, lower=lower, upper=upper, name=type(self).__name__)
+
+    def default_epsilons(self) -> np.ndarray:
+        return np.full(2, 0.005)
+
+
+class ZDT1(_ZDT):
+    """Convex front: f2 = 1 - sqrt(f1)."""
+
+    def __init__(self, nvars: int = 30) -> None:
+        super().__init__(nvars)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        g = 1.0 + 9.0 * np.mean(x[1:])
+        f1 = x[0]
+        return np.array([f1, g * (1.0 - np.sqrt(f1 / g))])
+
+
+class ZDT2(_ZDT):
+    """Concave front: f2 = 1 - f1^2."""
+
+    def __init__(self, nvars: int = 30) -> None:
+        super().__init__(nvars)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        g = 1.0 + 9.0 * np.mean(x[1:])
+        f1 = x[0]
+        return np.array([f1, g * (1.0 - (f1 / g) ** 2)])
+
+
+class ZDT3(_ZDT):
+    """Disconnected front (sinusoidal gaps)."""
+
+    def __init__(self, nvars: int = 30) -> None:
+        super().__init__(nvars)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        g = 1.0 + 9.0 * np.mean(x[1:])
+        f1 = x[0]
+        h = 1.0 - np.sqrt(f1 / g) - (f1 / g) * np.sin(10.0 * np.pi * f1)
+        return np.array([f1, g * h])
+
+
+class ZDT4(_ZDT):
+    """Highly multimodal g (Rastrigin-like); 21^9 local fronts."""
+
+    def __init__(self, nvars: int = 10) -> None:
+        lower = np.full(nvars, -5.0)
+        upper = np.full(nvars, 5.0)
+        lower[0], upper[0] = 0.0, 1.0
+        super().__init__(nvars, lower=lower, upper=upper)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        tail = x[1:]
+        g = (
+            1.0
+            + 10.0 * tail.size
+            + np.sum(tail**2 - 10.0 * np.cos(4.0 * np.pi * tail))
+        )
+        f1 = x[0]
+        return np.array([f1, g * (1.0 - np.sqrt(f1 / g))])
+
+
+class ZDT6(_ZDT):
+    """Nonuniformly distributed front with biased density."""
+
+    def __init__(self, nvars: int = 10) -> None:
+        super().__init__(nvars)
+
+    def _evaluate(self, x: np.ndarray) -> np.ndarray:
+        f1 = 1.0 - np.exp(-4.0 * x[0]) * np.sin(6.0 * np.pi * x[0]) ** 6
+        g = 1.0 + 9.0 * np.mean(x[1:]) ** 0.25
+        return np.array([f1, g * (1.0 - (f1 / g) ** 2)])

@@ -1,0 +1,62 @@
+"""simkit: a from-scratch discrete-event simulation kernel.
+
+A SimPy-3-style API (the paper used SimPy 2.3, unavailable here)
+providing everything the Borg master-slave simulation model requires:
+a virtual-clock :class:`Environment`, generator-based processes,
+timeouts, condition events, interrupts, contended FIFO resources, and
+measurement monitors.
+
+Quick example::
+
+    from repro.simkit import Environment, Resource
+
+    env = Environment()
+    master = Resource(env, capacity=1)
+
+    def worker(env, master):
+        with master.request() as req:
+            yield req                 # wait for the master
+            yield env.timeout(0.01)   # hold it while it processes
+        return env.now
+
+    procs = [env.process(worker(env, master)) for _ in range(4)]
+    env.run()
+"""
+
+from .core import EmptySchedule, Environment
+from .events import (
+    AllOf,
+    AnyOf,
+    ConditionEvent,
+    Event,
+    Interrupt,
+    Process,
+    StopProcess,
+    Timeout,
+)
+from .monitor import SeriesMonitor, SpanTracker, TallyMonitor
+from .resources import PriorityResource, Release, Request, Resource
+from .store import Store, StoreGet, StorePut
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Process",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "StopProcess",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Release",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "TallyMonitor",
+    "SeriesMonitor",
+    "SpanTracker",
+]

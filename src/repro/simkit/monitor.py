@@ -1,0 +1,144 @@
+"""Measurement helpers for simkit simulations.
+
+These collectors record state trajectories (queue lengths, busy/idle
+spans) during a simulation run and reduce them to the summary numbers
+the scalability study reports (time-weighted means, utilisation,
+idle-time fractions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = ["SeriesMonitor", "TallyMonitor", "SpanTracker"]
+
+
+class TallyMonitor:
+    """Accumulates observations and basic moments without storing them all.
+
+    Uses Welford's online algorithm so the variance is numerically
+    stable even over millions of timing samples.
+    """
+
+    def __init__(self, keep: bool = False) -> None:
+        self._keep = keep
+        self.observations: list[float] = []
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        if self._keep:
+            self.observations.append(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+class SeriesMonitor:
+    """Records a piecewise-constant time series (e.g. queue length).
+
+    ``record(t, v)`` declares that the series took value ``v`` from time
+    ``t`` onward.  :meth:`time_average` integrates the step function.
+    """
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotone time {time} after {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of the series on ``[t0, until]``."""
+        if not self.times:
+            return 0.0
+        end = self.times[-1] if until is None else until
+        total = 0.0
+        duration = end - self.times[0]
+        if duration <= 0:
+            return self.values[-1]
+        for i in range(len(self.times)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            if t_next > end:
+                t_next = end
+            span = t_next - self.times[i]
+            if span > 0:
+                total += self.values[i] * span
+        return total / duration
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+
+class SpanTracker:
+    """Tracks alternating busy/idle spans for one actor (e.g. a worker).
+
+    Used to regenerate the Figure 1/2 timeline data: each ``begin`` /
+    ``end`` pair contributes a labelled span, and idle time is whatever
+    is left over.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[tuple[float, float, str]] = []
+        self._open: Optional[tuple[float, str]] = None
+
+    def begin(self, time: float, label: str) -> None:
+        if self._open is not None:
+            raise RuntimeError(f"span {self._open[1]!r} still open")
+        self._open = (time, label)
+
+    def end(self, time: float) -> None:
+        if self._open is None:
+            raise RuntimeError("no span open")
+        start, label = self._open
+        if time < start:
+            raise ValueError("span ends before it starts")
+        self.spans.append((start, time, label))
+        self._open = None
+
+    def total(self, label: str) -> float:
+        """Total duration spent in spans with ``label``."""
+        return sum(end - start for start, end, lbl in self.spans if lbl == label)
+
+    def busy_total(self) -> float:
+        return sum(end - start for start, end, _ in self.spans)
+
+    def idle_total(self, horizon: float) -> float:
+        """Idle time over ``[0, horizon]`` (time not in any span)."""
+        return horizon - self.busy_total()

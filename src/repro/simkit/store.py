@@ -1,0 +1,103 @@
+"""Producer/consumer stores for simkit (message-queue modelling).
+
+A :class:`Store` holds items with optional capacity: ``put`` blocks
+when full, ``get`` blocks when empty.  Used to model bounded message
+queues and mailbox-style transports in topology experiments, and
+generally useful for any producer/consumer simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .core import Environment
+from .events import Event
+
+__all__ = ["Store", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Fires once the item has been accepted into the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Fires with the retrieved item as its value."""
+
+    __slots__ = ()
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO item store with optional capacity.
+
+    Example::
+
+        store = Store(env, capacity=2)
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)      # blocks while full
+
+        def consumer(env):
+            while True:
+                item = yield store.get()  # blocks while empty
+    """
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+        #: Peak number of stored items (diagnostics).
+        self.max_level = 0
+
+    @property
+    def level(self) -> int:
+        """Items currently stored."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; the event fires when accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Request one item; the event fires with it when available."""
+        return StoreGet(self)
+
+    def _dispatch(self) -> None:
+        """Match pending puts to free slots and pending gets to items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                if len(self.items) > self.max_level:
+                    self.max_level = len(self.items)
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Store level={self.level}/{cap}>"

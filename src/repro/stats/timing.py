@@ -1,0 +1,195 @@
+"""Timing models: the (TA, TC, TF) triples that drive every experiment.
+
+The paper characterises a run by three random times (Table I):
+
+* ``TF`` -- function evaluation time (controlled delay: mean in
+  {0.001, 0.01, 0.1} s with a coefficient of variation of 0.1);
+* ``TC`` -- one-way master/worker communication time (measured at 6 us
+  on TACC Ranger's InfiniBand fabric);
+* ``TA`` -- master algorithm overhead per result (grows slowly with P;
+  the per-P means are printed in Table II).
+
+:class:`TimingModel` bundles distributions for the three, and
+:func:`ranger_timing` builds the calibrated model for any (problem, P,
+TF) operating point of the paper's grid, interpolating TA in log2(P)
+between the published anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from .distributions import Constant, Distribution, LogNormal, TruncatedNormal
+
+__all__ = [
+    "TimingModel",
+    "TABLE2_TA_MEANS",
+    "RANGER_TC_SECONDS",
+    "ta_mean_for",
+    "ranger_timing",
+    "constant_timing",
+]
+
+#: Measured point-to-point round-trip/2 on TACC Ranger (paper §V).
+RANGER_TC_SECONDS = 6.0e-6
+
+#: Mean master overhead TA (seconds) per processor count, transcribed
+#: from Table II.  UF11's larger TA reflects its costlier archive
+#: updates (more objectives retained, harder fronts).
+TABLE2_TA_MEANS: dict[str, dict[int, float]] = {
+    "DTLZ2": {
+        16: 23e-6,
+        32: 25e-6,
+        64: 27e-6,
+        128: 29e-6,
+        256: 31e-6,
+        512: 37e-6,
+        1024: 45e-6,
+    },
+    "UF11": {
+        16: 55e-6,
+        32: 57e-6,
+        64: 59e-6,
+        128: 61e-6,
+        256: 64e-6,
+        512: 68e-6,
+        1024: 78e-6,
+    },
+}
+
+
+def ta_mean_for(problem: str, processors: int) -> float:
+    """Mean TA for a problem at a processor count.
+
+    Exact at the published anchors (P in {16, ..., 1024}); linear in
+    log2(P) between them; clamped to the end anchors outside the range.
+    """
+    key = problem.upper()
+    if key not in TABLE2_TA_MEANS:
+        raise KeyError(
+            f"no TA calibration for {problem!r}; "
+            f"known: {sorted(TABLE2_TA_MEANS)}"
+        )
+    if processors < 2:
+        raise ValueError("need at least 2 processors (one master, one worker)")
+    anchors = TABLE2_TA_MEANS[key]
+    ps = np.array(sorted(anchors))
+    tas = np.array([anchors[int(p)] for p in ps])
+    return float(np.interp(np.log2(processors), np.log2(ps), tas))
+
+
+@dataclass
+class TimingModel:
+    """Distributions of the three cost components.
+
+    ``sample_*`` helpers draw one value; ``mean_*`` properties feed the
+    analytical model (which assumes constants).
+    """
+
+    t_f: Distribution
+    t_c: Distribution
+    t_a: Distribution
+    #: Human-readable tag for reports.
+    label: str = ""
+
+    @property
+    def mean_tf(self) -> float:
+        return self.t_f.mean
+
+    @property
+    def mean_tc(self) -> float:
+        return self.t_c.mean
+
+    @property
+    def mean_ta(self) -> float:
+        return self.t_a.mean
+
+    def sample_tf(self, rng: np.random.Generator) -> float:
+        return float(self.t_f.sample(rng))
+
+    def sample_tc(self, rng: np.random.Generator) -> float:
+        return float(self.t_c.sample(rng))
+
+    def sample_ta(self, rng: np.random.Generator) -> float:
+        return float(self.t_a.sample(rng))
+
+    def as_constant(self) -> "TimingModel":
+        """Collapse every component to its mean (the analytical model's
+        assumption); useful for lockstep validation runs."""
+        return TimingModel(
+            Constant(self.mean_tf),
+            Constant(self.mean_tc),
+            Constant(self.mean_ta),
+            label=f"{self.label}[const]",
+        )
+
+
+def ranger_timing(
+    problem: str,
+    processors: int,
+    tf_mean: float,
+    tf_cv: float = 0.1,
+    ta_cv: float = 0.2,
+    ta_scale: float = 1.0,
+    tc_seconds: float = RANGER_TC_SECONDS,
+) -> TimingModel:
+    """The calibrated TACC-Ranger timing model for one operating point.
+
+    * TF: truncated normal with the paper's controlled delay mean and
+      CV (0.1 by default, §V);
+    * TC: constant 6 us (constant-size payloads, §V);
+    * TA: lognormal with the Table II mean for (problem, P) -- the
+      heavy-tailed shape matches archive-update cost spikes; CV is not
+      published, so it is exposed as a parameter (default 0.2).
+
+    ``ta_scale`` multiplies the TA mean.  The paper's saturated-regime
+    elapsed times imply an *effective* master service time ~1.6x the
+    printed TA means (unmodelled MPI/OS overhead on Ranger; see
+    EXPERIMENTS.md); set ``ta_scale ~ 1.6`` to match the paper's
+    absolute time floors rather than its printed means.
+    """
+    if tf_mean <= 0:
+        raise ValueError("tf_mean must be positive")
+    if ta_scale <= 0:
+        raise ValueError("ta_scale must be positive")
+    ta_mean = ta_scale * ta_mean_for(problem, processors)
+    return TimingModel(
+        t_f=TruncatedNormal.from_mean_cv(tf_mean, tf_cv),
+        t_c=Constant(tc_seconds),
+        t_a=LogNormal.from_mean_cv(ta_mean, ta_cv),
+        label=f"{problem} P={processors} TF={tf_mean:g}",
+    )
+
+
+def constant_timing(tf: float, tc: float, ta: float, label: str = "") -> TimingModel:
+    """All-constant timing model (the analytical model's world)."""
+    return TimingModel(Constant(tf), Constant(tc), Constant(ta), label=label)
+
+
+def calibrate_timing(
+    tf_samples,
+    ta_samples,
+    tc_samples=None,
+    tc_seconds: float = RANGER_TC_SECONDS,
+    label: str = "calibrated",
+) -> TimingModel:
+    """Build a TimingModel from measured samples (the paper's §IV-B
+    workflow end to end): each component is fitted over the candidate
+    families by MLE and the best family by log-likelihood is kept.
+
+    ``tc_samples=None`` uses the constant round-trip measurement
+    (``tc_seconds``), as the paper did for its fixed-payload messages.
+    """
+    from .distributions import Constant as _Constant
+    from .distributions import fit_best
+
+    t_f = fit_best(tf_samples)[0].distribution
+    t_a = fit_best(ta_samples)[0].distribution
+    if tc_samples is None:
+        t_c = _Constant(tc_seconds)
+    else:
+        t_c = fit_best(tc_samples)[0].distribution
+    return TimingModel(t_f=t_f, t_c=t_c, t_a=t_a, label=label)

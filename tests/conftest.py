@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BorgConfig
+from repro.problems import DTLZ2
+from repro.stats import constant_timing, ranger_timing
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator; tests that need different streams derive
+    their own from explicit seeds."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_config() -> BorgConfig:
+    """A Borg configuration small enough for fast unit runs."""
+    return BorgConfig(
+        initial_population_size=32,
+        adaptation_interval=50,
+        restart_check_interval=50,
+        snapshot_interval=50,
+        min_population_size=8,
+    )
+
+
+@pytest.fixture
+def dtlz2_2d() -> DTLZ2:
+    """2-objective DTLZ2 (cheap, exact hypervolume available)."""
+    return DTLZ2(nobjs=2, nvars=11)
+
+
+@pytest.fixture
+def dtlz2_5d() -> DTLZ2:
+    """The paper's easy problem: 5-objective DTLZ2."""
+    return DTLZ2(nobjs=5)
+
+
+@pytest.fixture
+def fast_timing():
+    """Constant timing with a comfortable TF/(2TC+TA) ratio."""
+    return constant_timing(tf=0.01, tc=6e-6, ta=29e-6, label="test")
+
+
+@pytest.fixture
+def dtlz2_timing():
+    """Calibrated Ranger timing at the P=16, TF=0.01 operating point."""
+    return ranger_timing("DTLZ2", 16, 0.01)

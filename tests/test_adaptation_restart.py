@@ -1,0 +1,137 @@
+"""Unit tests for operator adaptation and restart control."""
+
+import numpy as np
+import pytest
+
+from repro.core import OperatorSelector, RestartController
+from repro.core.operators import default_operators
+
+LB = np.zeros(5)
+UB = np.ones(5)
+
+
+@pytest.fixture
+def selector():
+    return OperatorSelector(default_operators(LB, UB), zeta=1.0)
+
+
+class TestOperatorSelector:
+    def test_initial_probabilities_uniform(self, selector):
+        assert np.allclose(selector.probabilities, 1.0 / 6.0)
+
+    def test_probabilities_always_sum_to_one(self, selector):
+        selector.update({"sbx": 10, "de": 5})
+        assert selector.probabilities.sum() == pytest.approx(1.0)
+
+    def test_update_follows_archive_credit(self, selector):
+        selector.update({"sbx": 94, "de": 0, "pcx": 0, "spx": 0, "undx": 0, "um": 0})
+        # (94 + 1) / (94 + 6) = 0.95
+        assert selector.probability_of("sbx") == pytest.approx(0.95)
+        assert selector.probability_of("de") == pytest.approx(0.01)
+
+    def test_zeta_prevents_starvation(self, selector):
+        selector.update({"sbx": 10_000})
+        for name in ("de", "pcx", "spx", "undx", "um"):
+            assert selector.probability_of(name) > 0.0
+
+    def test_unknown_operator_names_ignored(self, selector):
+        selector.update({"initial": 50, "injection": 10, "sbx": 2})
+        assert selector.probability_of("sbx") == pytest.approx(3.0 / 8.0)
+
+    def test_selection_respects_probabilities(self, selector):
+        selector.update({"sbx": 998})
+        rng = np.random.default_rng(0)
+        picks = [selector.select(rng).name for _ in range(300)]
+        assert picks.count("sbx") > 250
+
+    def test_selection_counts_recorded(self, selector):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            selector.select(rng)
+        assert selector.selection_counts.sum() == 10
+
+    def test_probability_of_unknown_raises(self, selector):
+        with pytest.raises(KeyError):
+            selector.probability_of("nonexistent")
+
+    def test_empty_operator_list_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorSelector([])
+
+    def test_nonpositive_zeta_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorSelector(default_operators(LB, UB), zeta=0.0)
+
+
+class TestRestartController:
+    def test_tournament_size_formula(self):
+        ctrl = RestartController(tau=0.02)
+        assert ctrl.tournament_size(100) == 2
+        assert ctrl.tournament_size(500) == 10
+        assert ctrl.tournament_size(10) == 2  # floor of 2
+
+    def test_population_size_formula(self):
+        ctrl = RestartController(gamma=4.0, min_population_size=16)
+        assert ctrl.population_size_for(100) == 400
+        assert ctrl.population_size_for(1) == 16  # floored
+
+    def test_no_check_off_interval(self):
+        ctrl = RestartController(check_interval=100)
+        assert ctrl.check(50, improvements=0, population_size=10, archive_size=5) is None
+
+    def test_no_check_at_zero(self):
+        ctrl = RestartController(check_interval=100)
+        assert ctrl.check(0, 0, 10, 5) is None
+
+    def test_stagnation_triggers_restart(self):
+        ctrl = RestartController(check_interval=100, gamma=4.0)
+        # First check establishes the baseline improvements count.
+        assert ctrl.check(100, improvements=5, population_size=20, archive_size=5) is None
+        plan = ctrl.check(200, improvements=5, population_size=20, archive_size=5)
+        assert plan is not None
+        assert plan.reason == "stagnation"
+        assert plan.new_population_size == 20
+        assert plan.injections == 15
+        assert ctrl.restarts == 1
+
+    def test_progress_prevents_restart(self):
+        ctrl = RestartController(check_interval=100, gamma=4.0)
+        ctrl.check(100, improvements=5, population_size=20, archive_size=5)
+        assert ctrl.check(200, improvements=9, population_size=20, archive_size=5) is None
+
+    def test_ratio_restart_population_too_large(self):
+        ctrl = RestartController(check_interval=100, gamma=4.0, ratio_tolerance=1.25)
+        ctrl.check(100, improvements=0, population_size=10, archive_size=2)
+        # Progress happened, but pop/archive = 60/2 = 30 > 5.
+        plan = ctrl.check(200, improvements=10, population_size=60, archive_size=2)
+        assert plan is not None and plan.reason == "ratio"
+
+    def test_ratio_restart_population_too_small(self):
+        ctrl = RestartController(check_interval=100, gamma=4.0, ratio_tolerance=1.25)
+        ctrl.check(100, improvements=0, population_size=100, archive_size=30)
+        plan = ctrl.check(200, improvements=10, population_size=100, archive_size=100)
+        assert plan is not None and plan.reason == "ratio"
+        assert plan.new_population_size == 400
+
+    def test_ratio_within_tolerance_no_restart(self):
+        ctrl = RestartController(check_interval=100, gamma=4.0, ratio_tolerance=1.25)
+        ctrl.check(100, improvements=0, population_size=100, archive_size=25)
+        # 100/25 = 4.0 == gamma, and progress happened.
+        assert ctrl.check(200, improvements=5, population_size=100, archive_size=25) is None
+
+    def test_plan_tournament_size_scales(self):
+        ctrl = RestartController(check_interval=10, gamma=4.0, tau=0.02)
+        ctrl.check(10, 0, 10, 100)
+        plan = ctrl.check(20, 0, 10, 100)
+        assert plan.new_population_size == 400
+        assert plan.tournament_size == 8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RestartController(gamma=0.5)
+        with pytest.raises(ValueError):
+            RestartController(tau=0.0)
+        with pytest.raises(ValueError):
+            RestartController(check_interval=0)
+        with pytest.raises(ValueError):
+            RestartController(ratio_tolerance=0.9)

@@ -1,0 +1,231 @@
+"""Unit tests for the epsilon-dominance archive."""
+
+import numpy as np
+import pytest
+
+from repro.core import EpsilonBoxArchive, Solution
+
+
+def sol(*objs, operator="sbx", cons=None):
+    return Solution(
+        np.zeros(3),
+        objectives=np.asarray(objs, float),
+        constraints=cons,
+        operator=operator,
+    )
+
+
+class TestArchiveConstruction:
+    def test_scalar_epsilon_broadcasts(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.5, 0.5, 0.5))
+        assert archive.epsilons.shape == (3,)
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            EpsilonBoxArchive([0.1, 0.0])
+
+    def test_mismatched_epsilon_count_rejected(self):
+        archive = EpsilonBoxArchive([0.1, 0.1])
+        with pytest.raises(ValueError):
+            archive.add(sol(0.5, 0.5, 0.5))
+
+    def test_empty_archive(self):
+        archive = EpsilonBoxArchive(0.1)
+        assert len(archive) == 0
+        assert archive.improvements == 0
+
+
+class TestArchiveAdd:
+    def test_first_addition_is_improvement(self):
+        archive = EpsilonBoxArchive(0.1)
+        result = archive.add(sol(0.5, 0.5, 0.5))
+        assert result.accepted and result.improvement
+        assert archive.improvements == 1
+
+    def test_unevaluated_rejected(self):
+        archive = EpsilonBoxArchive(0.1)
+        with pytest.raises(ValueError):
+            archive.add(Solution(np.zeros(3)))
+
+    def test_nonfinite_objectives_rejected(self):
+        archive = EpsilonBoxArchive(0.1)
+        result = archive.add(sol(np.inf, 0.5, 0.5))
+        assert not result.accepted
+        assert len(archive) == 0
+
+    def test_dominated_solution_rejected(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.1, 0.1, 0.1))
+        result = archive.add(sol(0.9, 0.9, 0.9))
+        assert not result.accepted
+        assert len(archive) == 1
+
+    def test_dominating_solution_evicts(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.9, 0.9, 0.9))
+        result = archive.add(sol(0.1, 0.1, 0.1))
+        assert result.accepted and result.improvement
+        assert len(result.removed) == 1
+        assert len(archive) == 1
+
+    def test_one_eviction_can_remove_many(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.95, 0.95, 0.35))
+        archive.add(sol(0.35, 0.95, 0.95))
+        archive.add(sol(0.95, 0.35, 0.95))
+        result = archive.add(sol(0.05, 0.05, 0.05))
+        assert len(result.removed) == 3
+        assert len(archive) == 1
+
+    def test_nondominated_boxes_coexist(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5))
+        result = archive.add(sol(0.95, 0.05, 0.5))
+        assert result.accepted
+        assert len(archive) == 2
+        assert archive.improvements == 2
+
+    def test_same_box_replacement_not_improvement(self):
+        archive = EpsilonBoxArchive(1.0)
+        archive.add(sol(0.9, 0.9, 0.9))
+        # Same box (all < 1), nearer the corner: accepted, no progress.
+        result = archive.add(sol(0.5, 0.5, 0.5))
+        assert result.accepted and not result.improvement
+        assert archive.improvements == 1
+        assert len(archive) == 1
+
+    def test_same_box_farther_rejected(self):
+        archive = EpsilonBoxArchive(1.0)
+        archive.add(sol(0.2, 0.2, 0.2))
+        result = archive.add(sol(0.3, 0.3, 0.3))
+        assert not result.accepted
+
+    def test_same_box_pareto_dominance_overrides_distance(self):
+        archive = EpsilonBoxArchive(np.array([1.0, 1.0]))
+        a = Solution(np.zeros(2), objectives=np.array([0.8, 0.1]))
+        archive.add(a)
+        # b is farther from the corner but Pareto-dominates a.
+        b = Solution(np.zeros(2), objectives=np.array([0.75, 0.1]))
+        result = archive.add(b)
+        assert result.accepted
+
+    def test_objectives_matrix_mirrors_contents(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5))
+        archive.add(sol(0.95, 0.05, 0.5))
+        F = archive.objectives
+        assert F.shape == (2, 3)
+        assert sorted(F[:, 0].tolist()) == [0.05, 0.95]
+
+
+class TestEpsilonProgress:
+    def test_progress_counts_new_boxes_only(self):
+        archive = EpsilonBoxArchive(1.0)
+        archive.add(sol(0.9, 0.9, 0.9))     # improvement (new box)
+        archive.add(sol(0.5, 0.5, 0.5))     # same-box polish: no progress
+        archive.add(sol(0.1, 0.1, 0.1))     # same-box polish: no progress
+        assert archive.improvements == 1
+
+    def test_progress_counts_dominating_moves(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.95, 0.95, 0.95))
+        archive.add(sol(0.05, 0.05, 0.05))  # box-dominates -> progress
+        assert archive.improvements == 2
+
+
+class TestOperatorCounts:
+    def test_counts_track_membership(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5, operator="sbx"))
+        archive.add(sol(0.95, 0.05, 0.5, operator="de"))
+        assert archive.operator_counts["sbx"] == 1
+        assert archive.operator_counts["de"] == 1
+
+    def test_eviction_decrements_count(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.9, 0.9, 0.9, operator="sbx"))
+        archive.add(sol(0.1, 0.1, 0.1, operator="um"))
+        assert archive.operator_counts["sbx"] == 0
+        assert archive.operator_counts["um"] == 1
+
+    def test_same_box_swap_transfers_credit(self):
+        archive = EpsilonBoxArchive(1.0)
+        archive.add(sol(0.9, 0.9, 0.9, operator="sbx"))
+        archive.add(sol(0.1, 0.1, 0.1, operator="pcx"))
+        assert archive.operator_counts["sbx"] == 0
+        assert archive.operator_counts["pcx"] == 1
+
+
+class TestConstrainedArchive:
+    def test_infeasible_rejected_when_feasible_present(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.5, 0.5, 0.5))
+        result = archive.add(sol(0.1, 0.1, 0.1, cons=np.array([1.0])))
+        assert not result.accepted
+
+    def test_feasible_flushes_infeasible(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.1, 0.1, 0.1, cons=np.array([1.0])))
+        result = archive.add(sol(0.9, 0.9, 0.9))
+        assert result.accepted
+        assert all(s.feasible for s in archive)
+        assert len(archive) == 1
+
+    def test_lower_violation_flushes_higher(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.1, 0.1, 0.1, cons=np.array([2.0])))
+        result = archive.add(sol(0.9, 0.9, 0.9, cons=np.array([0.5])))
+        assert result.accepted
+        assert len(archive) == 1
+        assert archive.solutions[0].constraint_violation == 0.5
+
+
+class TestArchiveSampling:
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(IndexError):
+            EpsilonBoxArchive(0.1).sample(np.random.default_rng(0))
+
+    def test_sample_returns_member(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5))
+        archive.add(sol(0.95, 0.05, 0.5))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert archive.sample(rng) in archive.solutions
+
+    def test_contains_by_uid(self):
+        archive = EpsilonBoxArchive(0.1)
+        member = sol(0.5, 0.5, 0.5)
+        archive.add(member)
+        assert member in archive
+        assert sol(0.5, 0.5, 0.5) not in archive
+
+
+class TestArchiveInvariants:
+    def test_members_mutually_epsilon_nondominated_after_random_adds(self):
+        rng = np.random.default_rng(7)
+        archive = EpsilonBoxArchive(0.05)
+        for _ in range(300):
+            archive.add(sol(*rng.random(3)))
+        boxes = np.floor(archive.objectives / 0.05)
+        n = len(archive)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                # No member's box may dominate another's.
+                assert not (
+                    np.all(boxes[i] <= boxes[j]) and np.any(boxes[i] < boxes[j])
+                )
+                # No two members share a box.
+                assert not np.array_equal(boxes[i], boxes[j])
+
+    def test_improvements_monotone(self):
+        rng = np.random.default_rng(11)
+        archive = EpsilonBoxArchive(0.1)
+        last = 0
+        for _ in range(200):
+            archive.add(sol(*rng.random(3)))
+            assert archive.improvements >= last
+            last = archive.improvements

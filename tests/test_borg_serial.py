@@ -1,0 +1,204 @@
+"""Tests for the Borg engine and the serial driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import BorgConfig, BorgEngine, BorgMOEA, RunHistory
+from repro.problems import DTLZ2, ZDT1, AircraftDesign
+
+
+class TestEngineLifecycle:
+    def test_initialization_phase_issues_random_solutions(self, small_config):
+        engine = BorgEngine(DTLZ2(nobjs=2, nvars=11), small_config,
+                            rng=np.random.default_rng(0))
+        candidates = [engine.next_candidate() for _ in range(5)]
+        assert all(c.operator == "initial" for c in candidates)
+        assert all(not c.evaluated for c in candidates)
+        assert engine.issued == 5
+
+    def test_ingest_requires_evaluated(self, small_config):
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            engine.ingest(engine.next_candidate())
+
+    def test_nfe_counts_ingests(self, small_config):
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        for _ in range(10):
+            c = engine.next_candidate()
+            problem.evaluate(c)
+            engine.ingest(c)
+        assert engine.nfe == 10
+
+    def test_population_fills_to_initial_size(self, small_config):
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        for _ in range(small_config.initial_population_size):
+            c = engine.next_candidate()
+            problem.evaluate(c)
+            engine.ingest(c)
+        assert len(engine.population) == small_config.initial_population_size
+
+    def test_steady_state_uses_operators(self, small_config):
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        for _ in range(small_config.initial_population_size):
+            c = engine.next_candidate()
+            problem.evaluate(c)
+            engine.ingest(c)
+        steady = engine.next_candidate()
+        assert steady.operator in {"sbx", "de", "pcx", "spx", "undx", "um"}
+
+    def test_can_outrun_initialization(self, small_config):
+        """A parallel master may request many candidates before any
+        results return; the engine must keep producing."""
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        extra = small_config.initial_population_size + 50
+        candidates = [engine.next_candidate() for _ in range(extra)]
+        assert len(candidates) == extra
+        assert all(c.operator == "initial" for c in candidates)
+
+    def test_observer_hooks_fire(self, small_config):
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, small_config, rng=np.random.default_rng(0))
+        events = {"ingest": 0, "improve": 0}
+        engine.on_ingest = lambda s: events.__setitem__("ingest", events["ingest"] + 1)
+        engine.on_improvement = lambda s: events.__setitem__(
+            "improve", events["improve"] + 1
+        )
+        for _ in range(20):
+            c = engine.next_candidate()
+            problem.evaluate(c)
+            engine.ingest(c)
+        assert events["ingest"] == 20
+        assert events["improve"] >= 1
+
+
+class TestRestartsInEngine:
+    def test_restart_repopulates_from_archive(self):
+        config = BorgConfig(
+            initial_population_size=20,
+            restart_check_interval=25,
+            adaptation_interval=25,
+            min_population_size=8,
+        )
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, config, rng=np.random.default_rng(3))
+        restarts = []
+        engine.on_restart = restarts.append
+        for _ in range(600):
+            c = engine.next_candidate()
+            problem.evaluate(c)
+            engine.ingest(c)
+        assert engine.restarts >= 1
+        assert engine.restarts == len(restarts)
+
+    def test_restart_injections_are_tagged(self):
+        config = BorgConfig(
+            initial_population_size=16,
+            restart_check_interval=20,
+            min_population_size=8,
+        )
+        problem = DTLZ2(nobjs=2, nvars=11)
+        engine = BorgEngine(problem, config, rng=np.random.default_rng(5))
+        seen_injection = False
+        for _ in range(500):
+            c = engine.next_candidate()
+            if c.operator == "injection":
+                seen_injection = True
+            problem.evaluate(c)
+            engine.ingest(c)
+        assert seen_injection
+
+    def test_tournament_size_tracks_population(self):
+        config = BorgConfig(initial_population_size=100, tau=0.02)
+        engine = BorgEngine(
+            DTLZ2(nobjs=2, nvars=11), config, rng=np.random.default_rng(0)
+        )
+        assert engine.tournament_size == 2
+
+
+class TestBorgMOEARuns:
+    def test_run_returns_result(self, small_config):
+        result = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=1).run(500)
+        assert result.nfe == 500
+        assert len(result.archive) > 0
+        assert set(result.operator_probabilities) == {
+            "sbx", "de", "pcx", "spx", "undx", "um",
+        }
+
+    def test_run_invalid_nfe(self, small_config):
+        with pytest.raises(ValueError):
+            BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=1).run(0)
+
+    def test_seeded_runs_reproducible(self, small_config):
+        r1 = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=9).run(400)
+        r2 = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=9).run(400)
+        assert np.array_equal(r1.objectives, r2.objectives)
+
+    def test_different_seeds_differ(self, small_config):
+        r1 = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=1).run(400)
+        r2 = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=2).run(400)
+        assert not np.array_equal(r1.objectives, r2.objectives)
+
+    def test_history_snapshots_recorded(self, small_config):
+        history = RunHistory(snapshot_interval=100)
+        result = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=1).run(
+            500, history=history
+        )
+        assert result.history is history
+        assert len(history.snapshots) >= 5
+        assert history.snapshots[-1].nfe == 500
+        assert [s.nfe for s in history.snapshots] == sorted(
+            s.nfe for s in history.snapshots
+        )
+
+    def test_convergence_on_zdt1(self):
+        """End-to-end sanity: the front f2 = 1 - sqrt(f1) is approached."""
+        config = BorgConfig(
+            initial_population_size=50, epsilons=[0.01, 0.01]
+        )
+        result = BorgMOEA(ZDT1(nvars=10), config, seed=7).run(5_000)
+        F = result.objectives
+        residual = np.abs(F[:, 1] - (1.0 - np.sqrt(F[:, 0])))
+        assert residual.mean() < 0.05
+
+    def test_convergence_on_dtlz2_2d(self, small_config):
+        result = BorgMOEA(
+            DTLZ2(nobjs=2, nvars=11),
+            BorgConfig(initial_population_size=50, epsilons=[0.01, 0.01]),
+            seed=11,
+        ).run(4_000)
+        F = result.objectives
+        radius_error = np.abs(np.linalg.norm(F, axis=1) - 1.0)
+        assert radius_error.mean() < 0.05
+
+    def test_constrained_problem_finds_feasible(self):
+        config = BorgConfig(initial_population_size=64)
+        result = BorgMOEA(AircraftDesign(), config, seed=3).run(4_000)
+        assert len(result.archive) > 0
+        assert all(s.feasible for s in result.archive)
+
+    def test_archive_objectives_consistent_with_solutions(self, small_config):
+        result = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=2).run(500)
+        F = result.objectives
+        manual = np.array([s.objectives for s in result.archive])
+        assert np.allclose(np.sort(F, axis=0), np.sort(manual, axis=0))
+
+    def test_step_returns_evaluated_solution(self, small_config):
+        moea = BorgMOEA(DTLZ2(nobjs=2, nvars=11), small_config, seed=1)
+        solution = moea.step()
+        assert solution.evaluated
+        assert moea.engine.nfe == 1
+
+
+class TestBorgConfigValidation:
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError):
+            BorgConfig(initial_population_size=1)
+
+    def test_bad_adaptation_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BorgConfig(adaptation_interval=0)

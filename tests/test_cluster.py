@@ -1,0 +1,136 @@
+"""Tests for the virtual-cluster substrate (machine, network, trace)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ConstantLatency,
+    DistributionLatency,
+    Span,
+    Timeline,
+    TopologyLatency,
+    laptop,
+    ranger,
+)
+from repro.stats import Gamma
+
+
+class TestMachineSpec:
+    def test_ranger_matches_paper(self):
+        r = ranger()
+        assert r.total_cores == 62_976
+        assert r.nodes == 3936
+        assert r.cores_per_node == 16
+        assert r.latency_seconds == pytest.approx(6e-6)
+
+    def test_validate_processors_accepts_grid(self):
+        r = ranger()
+        for p in (16, 32, 64, 128, 256, 512, 1024):
+            r.validate_processors(p)  # must not raise
+
+    def test_validate_rejects_too_many(self):
+        with pytest.raises(ValueError):
+            laptop(cores=4).validate_processors(8)
+
+    def test_validate_rejects_single_processor(self):
+        with pytest.raises(ValueError):
+            ranger().validate_processors(1)
+
+    def test_node_mapping_block_distribution(self):
+        r = ranger()
+        assert r.node_of(0) == 0
+        assert r.node_of(15) == 0
+        assert r.node_of(16) == 1
+
+    def test_node_mapping_bounds(self):
+        with pytest.raises(ValueError):
+            ranger().node_of(-1)
+        with pytest.raises(ValueError):
+            laptop(cores=2).node_of(2)
+
+    def test_str_mentions_interconnect(self):
+        assert "InfiniBand" in str(ranger())
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        lat = ConstantLatency(6e-6)
+        rng = np.random.default_rng(0)
+        assert lat.sample(rng) == 6e-6
+        assert lat.mean == 6e-6
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_distribution_latency_nonnegative(self):
+        lat = DistributionLatency(Gamma.from_mean_cv(6e-6, 0.5))
+        rng = np.random.default_rng(0)
+        samples = [lat.sample(rng) for _ in range(100)]
+        assert all(s >= 0 for s in samples)
+        assert lat.mean == pytest.approx(6e-6)
+
+    def test_topology_latency_intra_vs_inter(self):
+        r = ranger()
+        lat = TopologyLatency(r, intra_seconds=1e-6)
+        rng = np.random.default_rng(0)
+        assert lat.sample(rng, src=0, dst=5) == 1e-6       # same node
+        assert lat.sample(rng, src=0, dst=20) == 6e-6      # across nodes
+        assert lat.mean == 6e-6
+
+
+class TestTimeline:
+    def test_record_and_totals(self):
+        t = Timeline()
+        t.record("master", 0.0, 1.0, "tc")
+        t.record("master", 1.0, 3.0, "ta")
+        t.record("worker 1", 0.5, 2.5, "tf")
+        assert t.total("master", "tc") == pytest.approx(1.0)
+        assert t.total("master", "ta") == pytest.approx(2.0)
+        assert t.busy("worker 1") == pytest.approx(2.0)
+        assert t.horizon == 3.0
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", 0, 1, "unknown")
+
+    def test_backwards_span_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().record("x", 2.0, 1.0, "tf")
+
+    def test_idle_fraction(self):
+        t = Timeline()
+        t.record("master", 0.0, 10.0, "ta")
+        t.record("worker 1", 0.0, 4.0, "tf")
+        assert t.idle_fraction("worker 1") == pytest.approx(0.6)
+        assert t.idle_fraction("master") == pytest.approx(0.0)
+
+    def test_mean_worker_idle_excludes_master(self):
+        t = Timeline()
+        t.record("master", 0.0, 10.0, "ta")
+        t.record("worker 1", 0.0, 5.0, "tf")
+        t.record("worker 2", 0.0, 10.0, "tf")
+        assert t.mean_worker_idle_fraction() == pytest.approx(0.25)
+
+    def test_actors_in_first_seen_order(self):
+        t = Timeline()
+        t.record("worker 2", 0, 1, "tf")
+        t.record("master", 0, 1, "ta")
+        t.record("worker 2", 1, 2, "tf")
+        assert t.actors == ["worker 2", "master"]
+
+    def test_render_produces_rows_and_legend(self):
+        t = Timeline()
+        t.record("master", 0.0, 1.0, "tc")
+        t.record("worker 1", 1.0, 5.0, "tf")
+        out = t.render(width=40)
+        assert "master" in out
+        assert "worker 1" in out
+        assert "legend" in out
+        assert "#" in out
+
+    def test_render_empty(self):
+        assert Timeline().render() == "(empty timeline)"
+
+    def test_span_duration(self):
+        assert Span("a", 1.0, 3.5, "tf").duration == pytest.approx(2.5)

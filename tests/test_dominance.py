@@ -1,0 +1,161 @@
+"""Unit tests for the dominance comparators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Solution,
+    constrained_compare,
+    epsilon_box_compare,
+    epsilon_boxes,
+    nondominated_filter,
+    nondominated_mask,
+    pareto_compare,
+)
+
+
+class TestParetoCompare:
+    def test_strict_dominance(self):
+        assert pareto_compare(np.array([1.0, 1.0]), np.array([2.0, 2.0])) == -1
+        assert pareto_compare(np.array([2.0, 2.0]), np.array([1.0, 1.0])) == 1
+
+    def test_weak_dominance_counts(self):
+        assert pareto_compare(np.array([1.0, 2.0]), np.array([1.0, 3.0])) == -1
+
+    def test_nondominated(self):
+        assert pareto_compare(np.array([1.0, 3.0]), np.array([3.0, 1.0])) == 0
+
+    def test_equal_vectors_tie(self):
+        assert pareto_compare(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0
+
+    def test_antisymmetry(self):
+        a = np.array([0.5, 0.7, 0.1])
+        b = np.array([0.9, 0.8, 0.2])
+        assert pareto_compare(a, b) == -pareto_compare(b, a)
+
+    def test_single_objective(self):
+        assert pareto_compare(np.array([1.0]), np.array([2.0])) == -1
+
+
+class TestConstrainedCompare:
+    def _sol(self, objs, cons=None):
+        return Solution(
+            np.zeros(2), objectives=np.asarray(objs, float), constraints=cons
+        )
+
+    def test_feasible_beats_infeasible(self):
+        good = self._sol([10.0, 10.0])
+        bad = self._sol([0.0, 0.0], cons=np.array([1.0]))
+        assert constrained_compare(good, bad) == -1
+        assert constrained_compare(bad, good) == 1
+
+    def test_smaller_violation_wins(self):
+        a = self._sol([0.0, 0.0], cons=np.array([2.0]))
+        b = self._sol([0.0, 0.0], cons=np.array([1.0]))
+        assert constrained_compare(a, b) == 1
+
+    def test_equal_violation_is_tie(self):
+        a = self._sol([0.0, 1.0], cons=np.array([1.0]))
+        b = self._sol([1.0, 0.0], cons=np.array([1.0]))
+        assert constrained_compare(a, b) == 0
+
+    def test_both_feasible_uses_pareto(self):
+        a = self._sol([1.0, 1.0])
+        b = self._sol([2.0, 2.0])
+        assert constrained_compare(a, b) == -1
+
+    def test_violation_magnitude_aggregates_absolute(self):
+        s = self._sol([0.0, 0.0], cons=np.array([-1.5, 2.0]))
+        assert s.constraint_violation == pytest.approx(3.5)
+
+
+class TestEpsilonBoxes:
+    def test_box_indices(self):
+        eps = np.array([0.1, 0.1])
+        assert np.array_equal(
+            epsilon_boxes(np.array([0.25, 0.91]), eps), np.array([2.0, 9.0])
+        )
+
+    def test_matrix_input(self):
+        eps = np.array([0.5, 0.5])
+        F = np.array([[0.4, 0.6], [1.2, 0.1]])
+        boxes = epsilon_boxes(F, eps)
+        assert boxes.shape == (2, 2)
+        assert np.array_equal(boxes, [[0, 1], [2, 0]])
+
+    def test_negative_objectives(self):
+        eps = np.array([1.0])
+        assert epsilon_boxes(np.array([-0.5]), eps)[0] == -1.0
+
+
+class TestEpsilonBoxCompare:
+    EPS = np.array([0.1, 0.1])
+
+    def test_box_dominance(self):
+        a = np.array([0.05, 0.05])   # box (0, 0)
+        b = np.array([0.15, 0.15])   # box (1, 1)
+        assert epsilon_box_compare(a, b, self.EPS) == -1
+
+    def test_same_box_closer_to_corner_wins(self):
+        a = np.array([0.11, 0.11])
+        b = np.array([0.19, 0.19])
+        assert epsilon_box_compare(a, b, self.EPS) == -1
+        assert epsilon_box_compare(b, a, self.EPS) == 1
+
+    def test_different_nondominated_boxes(self):
+        a = np.array([0.05, 0.25])
+        b = np.array([0.25, 0.05])
+        assert epsilon_box_compare(a, b, self.EPS) == 0
+
+    def test_identical_points_tie(self):
+        a = np.array([0.13, 0.13])
+        assert epsilon_box_compare(a, a.copy(), self.EPS) == 0
+
+    def test_epsilon_coarseness_merges_boxes(self):
+        # With coarse epsilon these land in the same box; with fine
+        # epsilon, different boxes and pareto-dominance applies.
+        a = np.array([0.01, 0.01])
+        b = np.array([0.4, 0.4])
+        coarse = np.array([1.0, 1.0])
+        fine = np.array([0.1, 0.1])
+        assert epsilon_box_compare(a, b, coarse) == -1  # same box, corner
+        assert epsilon_box_compare(a, b, fine) == -1    # box dominance
+
+
+class TestNondominatedMask:
+    def test_all_nondominated(self):
+        F = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        assert nondominated_mask(F).all()
+
+    def test_dominated_point_removed(self):
+        F = np.array([[0.0, 1.0], [1.0, 0.0], [2.0, 2.0]])
+        mask = nondominated_mask(F)
+        assert list(mask) == [True, True, False]
+
+    def test_duplicates_both_kept(self):
+        F = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert nondominated_mask(F).sum() == 2
+
+    def test_filter_returns_surviving_rows(self):
+        F = np.array([[3.0, 3.0], [1.0, 1.0], [0.5, 2.0]])
+        out = nondominated_filter(F)
+        assert out.shape == (2, 2)
+        assert [1.0, 1.0] in out.tolist()
+        assert [3.0, 3.0] not in out.tolist()
+
+    def test_chain_of_dominance(self):
+        F = np.array([[float(i), float(i)] for i in range(10)])
+        out = nondominated_filter(F)
+        assert out.tolist() == [[0.0, 0.0]]
+
+    def test_matches_bruteforce_on_random_set(self):
+        rng = np.random.default_rng(3)
+        F = rng.random((60, 3))
+        mask = nondominated_mask(F)
+        for i in range(len(F)):
+            dominated = any(
+                np.all(F[j] <= F[i]) and np.any(F[j] < F[i])
+                for j in range(len(F))
+                if j != i
+            )
+            assert mask[i] == (not dominated)

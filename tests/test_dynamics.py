@@ -1,0 +1,95 @@
+"""Tests for hypervolume-trajectory utilities (Figs. 3-4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import RunHistory, Snapshot
+from repro.indicators.dynamics import (
+    attainment_times,
+    hypervolume_trajectory,
+    time_to_threshold,
+)
+
+
+def history_with(values_by_time):
+    """Build a history whose snapshots carry scalar 'objectives' that a
+    fake metric can read back."""
+    h = RunHistory(snapshot_interval=1)
+    for i, (t, v) in enumerate(values_by_time):
+        h.snapshots.append(
+            Snapshot(nfe=(i + 1) * 100, time=t, objectives=np.array([[v]]))
+        )
+    return h
+
+
+def scalar_metric(objs):
+    return float(objs[0, 0])
+
+
+class TestTrajectory:
+    def test_values_extracted_in_order(self):
+        h = history_with([(1.0, 0.1), (2.0, 0.5), (3.0, 0.9)])
+        times, values = hypervolume_trajectory(h, scalar_metric)
+        assert times.tolist() == [1.0, 2.0, 3.0]
+        assert values.tolist() == [0.1, 0.5, 0.9]
+
+    def test_values_made_monotone(self):
+        # Epsilon-archive HV can dip transiently; attainment uses the
+        # running best.
+        h = history_with([(1.0, 0.5), (2.0, 0.4), (3.0, 0.9)])
+        _, values = hypervolume_trajectory(h, scalar_metric)
+        assert values.tolist() == [0.5, 0.5, 0.9]
+
+    def test_nfe_axis(self):
+        h = history_with([(1.0, 0.1), (2.0, 0.2)])
+        times, _ = hypervolume_trajectory(h, scalar_metric, use_nfe=True)
+        assert times.tolist() == [100.0, 200.0]
+
+    def test_empty_history(self):
+        times, values = hypervolume_trajectory(RunHistory(), scalar_metric)
+        assert times.size == 0 and values.size == 0
+
+
+class TestTimeToThreshold:
+    def test_exact_hit(self):
+        t = time_to_threshold(np.array([1.0, 2.0]), np.array([0.3, 0.6]), 0.6)
+        assert t == 2.0
+
+    def test_interpolated_crossing(self):
+        t = time_to_threshold(
+            np.array([1.0, 3.0]), np.array([0.0, 1.0]), 0.5
+        )
+        assert t == pytest.approx(2.0)
+
+    def test_attained_at_first_snapshot(self):
+        t = time_to_threshold(np.array([5.0, 6.0]), np.array([0.9, 0.95]), 0.5)
+        assert t == 5.0
+
+    def test_never_attained_is_nan(self):
+        t = time_to_threshold(np.array([1.0, 2.0]), np.array([0.1, 0.2]), 0.9)
+        assert np.isnan(t)
+
+    def test_flat_segment_returns_endpoint(self):
+        t = time_to_threshold(
+            np.array([1.0, 2.0, 3.0]), np.array([0.2, 0.2, 0.8]), 0.2
+        )
+        assert t == 1.0
+
+    def test_empty_series_nan(self):
+        assert np.isnan(time_to_threshold(np.empty(0), np.empty(0), 0.5))
+
+
+class TestAttainmentTimes:
+    def test_vector_of_thresholds(self):
+        h = history_with([(1.0, 0.25), (2.0, 0.5), (4.0, 1.0)])
+        times = attainment_times(h, scalar_metric, [0.25, 0.5, 0.75, 2.0])
+        assert times[0] == 1.0
+        assert times[1] == 2.0
+        assert times[2] == pytest.approx(3.0)  # interpolated
+        assert np.isnan(times[3])
+
+    def test_monotone_in_threshold(self):
+        h = history_with([(1.0, 0.2), (2.0, 0.6), (3.0, 0.8)])
+        times = attainment_times(h, scalar_metric, [0.1, 0.3, 0.7])
+        finite = times[~np.isnan(times)]
+        assert np.all(np.diff(finite) >= 0)

@@ -1,0 +1,237 @@
+"""Smoke + shape tests for the experiment harnesses (every table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCALES, ExperimentScale
+from repro.experiments import ablation, bounds, efficiency_surface, speedup, table2, timelines
+from repro.experiments.reporting import (
+    ascii_heatmap,
+    format_seconds,
+    format_table,
+    write_csv,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    nfe=800,
+    replicates=1,
+    processors=(8, 64),
+    tf_values=(0.001,),
+    problems=("DTLZ2",),
+    snapshot_interval=100,
+    hv_samples=2_000,
+)
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "ci", "paper"}
+
+    def test_paper_scale_matches_publication(self):
+        paper = SCALES["paper"]
+        assert paper.nfe == 100_000
+        assert paper.replicates == 50
+        assert paper.processors == (16, 32, 64, 128, 256, 512, 1024)
+        assert paper.tf_values == (0.001, 0.01, 0.1)
+        assert paper.problems == ("DTLZ2", "UF11")
+
+    def test_iter_points_order(self):
+        pts = list(TINY.iter_points())
+        assert pts == [("DTLZ2", 0.001, 8), ("DTLZ2", 0.001, 64)]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2.generate(TINY, seed=1, verbose=False)
+
+    def test_row_per_operating_point(self, rows):
+        assert len(rows) == 2
+
+    def test_calibrated_times_in_rows(self, rows):
+        for row in rows:
+            assert row.tc == pytest.approx(6e-6)
+            assert row.tf == 0.001
+            assert 20e-6 < row.ta < 50e-6
+
+    def test_analytical_error_grows_with_p(self, rows):
+        # P=8 is unsaturated; P=64 at TF=1ms is near/above saturation.
+        assert rows[1].analytical_error > rows[0].analytical_error
+
+    def test_simulation_model_stays_accurate(self, rows):
+        for row in rows:
+            assert row.simulation_error < 0.10
+
+    def test_efficiency_declines_past_saturation(self, rows):
+        assert rows[1].efficiency < rows[0].efficiency
+
+    def test_as_tuple_formats_percentages(self, rows):
+        tup = rows[0].as_tuple()
+        assert tup[0] == "DTLZ2"
+        assert tup[-1].endswith("%")
+
+
+class TestSpeedupExperiment:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return speedup.generate(
+            TINY, "DTLZ2", 0.001, seed=1, thresholds=(0.05, 0.1, 0.2), verbose=False
+        )
+
+    def test_shape(self, surface):
+        assert surface.speedups.shape == (2, 3)
+        assert surface.processors == (8, 64)
+
+    def test_serial_attainment_monotone(self, surface):
+        finite = surface.serial_times[~np.isnan(surface.serial_times)]
+        assert np.all(np.diff(finite) >= 0)
+
+    def test_speedup_positive_where_defined(self, surface):
+        S = surface.speedups
+        finite = S[~np.isnan(S)]
+        assert np.all(finite > 0)
+
+    def test_rows_include_metadata(self, surface):
+        rows = surface.as_rows()
+        assert rows[0][0] == "DTLZ2"
+        assert rows[0][2] == 8
+
+
+class TestEfficiencySurface:
+    @pytest.fixture(scope="class")
+    def surfaces(self):
+        return efficiency_surface.generate(
+            tf_values=(0.001, 0.1),
+            processors=(2, 16, 256),
+            nfe=1500,
+            seed=1,
+            verbose=False,
+        )
+
+    def test_shapes(self, surfaces):
+        assert surfaces.synchronous.shape == (2, 3)
+        assert surfaces.asynchronous.shape == (2, 3)
+
+    def test_efficiencies_in_unit_interval(self, surfaces):
+        for grid in (surfaces.synchronous, surfaces.asynchronous):
+            assert np.all(grid >= 0.0)
+            assert np.all(grid <= 1.05)  # tiny stochastic overshoot ok
+
+    def test_async_small_p_penalty(self, surfaces):
+        """Async loses the master as an evaluator: at P=2 efficiency is
+        capped near 0.5, while sync (master evaluates too) is high."""
+        i = 1  # TF = 0.1 row
+        assert surfaces.asynchronous[i, 0] < 0.6
+        assert surfaces.synchronous[i, 0] > 0.9
+
+    def test_async_extends_scaling_at_large_p(self, surfaces):
+        """The paper's headline: at TF=0.1 and P=256 the async pipeline
+        is still efficient while the sync barrier model has decayed."""
+        i = 1
+        assert surfaces.asynchronous[i, 2] > surfaces.synchronous[i, 2]
+
+    def test_max_efficient_processors_summary(self, surfaces):
+        reach = surfaces.max_efficient_processors(threshold=0.9)
+        assert reach["async"][0.1] >= reach["sync"][0.1]
+
+    def test_efficient_region_listing(self, surfaces):
+        region = surfaces.async_efficient_region(threshold=0.9)
+        assert all(eff_tf in (0.001, 0.1) for eff_tf, _ in region)
+
+
+class TestTimelinesExperiment:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return timelines.generate(processors=4, nfe=10, seed=1)
+
+    def test_renders_have_actors(self, comparison):
+        for render in (comparison.sync_render, comparison.async_render):
+            assert "master" in render
+            assert "worker 1" in render
+
+    def test_async_reduces_worker_idle(self, comparison):
+        assert comparison.async_worker_idle < comparison.sync_worker_idle
+        assert comparison.idle_reduction > 0
+
+    def test_async_finishes_sooner(self, comparison):
+        assert comparison.async_elapsed <= comparison.sync_elapsed
+
+
+class TestBoundsExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return bounds.generate()
+
+    def test_full_grid(self, rows):
+        # 2 problems x 3 TF x 7 P anchors.
+        assert len(rows) == 42
+
+    def test_paper_worked_example_present(self, rows):
+        match = [
+            r for r in rows
+            if r.problem == "DTLZ2" and r.tf == 0.01 and r.processors == 128
+        ]
+        assert len(match) == 1
+        assert match[0].upper_bound == pytest.approx(243.9, abs=0.1)
+
+    def test_regime_labels(self, rows):
+        regimes = {r.regime for r in rows}
+        assert "saturated" in regimes
+        assert "scalable" in regimes
+
+    def test_lower_bounds_above_two(self, rows):
+        assert all(r.lower_bound > 2.0 for r in rows)
+
+
+class TestAblation:
+    def test_sync_efficiency_collapses_with_tf_variance(self):
+        rows = ablation.tf_variance_sweep(
+            processors=16, nfe=1200, cvs=(0.0, 1.0), seed=1
+        )
+        assert rows[1].sync_efficiency < rows[0].sync_efficiency * 0.6
+
+    def test_async_efficiency_stable_with_tf_variance(self):
+        rows = ablation.tf_variance_sweep(
+            processors=16, nfe=1200, cvs=(0.0, 1.0), seed=1
+        )
+        assert rows[1].async_efficiency > rows[0].async_efficiency * 0.8
+
+    def test_ta_sweep_reports_contention(self):
+        rows = ablation.ta_variance_sweep(nfe=1200, cvs=(0.0, 2.0), seed=1)
+        assert len(rows) == 2
+        # Utilisation stays pegged in the saturated regime.
+        assert rows[0][2] > 0.9
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(("A", "BB"), [(1, 2.5), (10, 0.000123)])
+        lines = out.splitlines()
+        assert "A" in lines[0] and "BB" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_table_handles_nan(self):
+        out = format_table(("X",), [(float("nan"),)])
+        assert "-" in out
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(9.234) == "9.2"
+        assert format_seconds(0.00123) == "0.00123"
+        assert format_seconds(float("nan")) == "-"
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ("a", "b"), [(1, 2), (3, 4)])
+        text = path.read_text().strip().splitlines()
+        assert text[0] == "a,b"
+        assert text[2] == "3,4"
+
+    def test_ascii_heatmap_shape(self):
+        grid = np.array([[0.0, 0.5], [1.0, 0.25]])
+        out = ascii_heatmap(grid, ["r1", "r2"], ["c1", "c2"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("r1")
+        assert "scale" in lines[-1]

@@ -1,0 +1,284 @@
+"""Tests for the quality indicators (hypervolume, distances, refsets)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.indicators import (
+    DEFAULT_REFERENCE_VALUE,
+    Hypervolume,
+    NormalizedHypervolume,
+    additive_epsilon,
+    generational_distance,
+    hypervolume,
+    ideal_hypervolume_for,
+    inverted_generational_distance,
+    monte_carlo_hypervolume,
+    plane_ideal_hypervolume,
+    plane_reference_set,
+    reference_set_for,
+    simplex_lattice,
+    spacing,
+    sphere_ideal_hypervolume,
+    sphere_reference_set,
+    zdt1_reference_set,
+)
+from repro.problems import DTLZ1, DTLZ2, UF11
+
+
+class TestExactHypervolume2D:
+    def test_single_point(self):
+        assert hypervolume(np.array([[1.0, 1.0]]), 2.0) == pytest.approx(1.0)
+
+    def test_three_point_staircase(self):
+        F = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        # (2-0)(2-1) + (2-0.5)(1-0.5) + (2-1)(0.5-0) = 3.25
+        assert hypervolume(F, 2.0) == pytest.approx(3.25)
+
+    def test_dominated_points_ignored(self):
+        F = np.array([[1.0, 1.0], [1.5, 1.5]])
+        assert hypervolume(F, 2.0) == pytest.approx(1.0)
+
+    def test_points_beyond_reference_ignored(self):
+        F = np.array([[1.0, 1.0], [3.0, 0.5]])
+        assert hypervolume(F, 2.0) == pytest.approx(1.0)
+
+    def test_empty_front_is_zero(self):
+        assert hypervolume(np.empty((0, 2)), 2.0) == 0.0
+
+    def test_vector_reference_point(self):
+        F = np.array([[0.0, 0.0]])
+        assert hypervolume(F, np.array([2.0, 3.0])) == pytest.approx(6.0)
+
+    def test_reference_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            hypervolume(np.array([[0.0, 0.0]]), np.array([1.0, 1.0, 1.0]))
+
+    def test_1d(self):
+        assert hypervolume(np.array([[0.3], [0.7]]), 1.0) == pytest.approx(0.7)
+
+    def test_adding_nondominated_point_increases_hv(self):
+        base = np.array([[0.2, 0.8], [0.8, 0.2]])
+        more = np.vstack([base, [0.4, 0.4]])
+        assert hypervolume(more, 1.1) > hypervolume(base, 1.1)
+
+
+class TestExactHypervolumeND:
+    def test_3d_inclusion_exclusion(self):
+        F = np.array([[0, 0, 1.0], [0, 1.0, 0], [1.0, 0, 0]])
+        expected = 3 * (1.1 * 1.1 * 0.1) - 3 * (1.1 * 0.1 * 0.1) + 0.1**3
+        assert hypervolume(F, 1.1) == pytest.approx(expected)
+
+    def test_4d_single_point(self):
+        F = np.array([[0.5, 0.5, 0.5, 0.5]])
+        assert hypervolume(F, 1.0) == pytest.approx(0.5**4)
+
+    def test_duplicate_points_no_double_count(self):
+        F = np.array([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]])
+        assert hypervolume(F, 1.0) == pytest.approx(0.125)
+
+    def test_permutation_invariance(self):
+        rng = np.random.default_rng(0)
+        F = rng.random((12, 4))
+        hv1 = hypervolume(F, 1.1)
+        hv2 = hypervolume(F[::-1], 1.1)
+        assert hv1 == pytest.approx(hv2)
+
+    def test_5d_matches_monte_carlo(self):
+        rs = sphere_reference_set(5, divisions=4)
+        rng = np.random.default_rng(1)
+        small = rs[rng.choice(len(rs), 20, replace=False)]
+        exact = hypervolume(small, 1.1)
+        mc = monte_carlo_hypervolume(small, 1.1, samples=300_000)
+        assert mc == pytest.approx(exact, rel=0.02)
+
+
+class TestMonteCarloHypervolume:
+    def test_empty_front(self):
+        assert monte_carlo_hypervolume(np.empty((0, 3)), 1.0) == 0.0
+
+    def test_single_point_2d(self):
+        est = monte_carlo_hypervolume(
+            np.array([[0.5, 0.5]]), 1.0, samples=100_000
+        )
+        assert est == pytest.approx(0.25, rel=0.05)
+
+    def test_seeded_determinism(self):
+        F = np.random.default_rng(0).random((10, 3))
+        a = monte_carlo_hypervolume(F, 1.1, samples=10_000, seed=5)
+        b = monte_carlo_hypervolume(F, 1.1, samples=10_000, seed=5)
+        assert a == b
+
+    def test_estimator_unbiased_vs_exact(self):
+        F = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        exact = hypervolume(F, 2.0)
+        est = monte_carlo_hypervolume(F, 2.0, samples=200_000)
+        assert est == pytest.approx(exact, rel=0.02)
+
+
+class TestHypervolumeEvaluator:
+    def test_auto_uses_exact_in_low_dim(self):
+        hv = Hypervolume(1.1, method="auto")
+        F = np.array([[0.5, 0.5]])
+        assert hv(F) == pytest.approx(0.6 * 0.6)
+
+    def test_auto_switches_to_mc_for_large_5d(self):
+        hv = Hypervolume(np.full(5, 1.1), method="auto", exact_limit=10,
+                         samples=50_000)
+        rs = sphere_reference_set(5, divisions=5)
+        value = hv(rs)
+        assert 0.0 < value < sphere_ideal_hypervolume(5)
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            Hypervolume(1.1, method="magic")
+
+    def test_empty_front(self):
+        assert Hypervolume(1.1)(np.empty((0, 3))) == 0.0
+
+
+class TestReferenceSets:
+    def test_simplex_lattice_count(self):
+        # C(divisions + nobjs - 1, nobjs - 1)
+        assert len(simplex_lattice(3, 4)) == math.comb(6, 2)
+
+    def test_simplex_lattice_sums_to_one(self):
+        w = simplex_lattice(4, 5)
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_sphere_reference_set_unit_norm(self):
+        rs = sphere_reference_set(5, divisions=4)
+        assert np.allclose(np.linalg.norm(rs, axis=1), 1.0)
+
+    def test_plane_reference_set_sums_to_half(self):
+        rs = plane_reference_set(3, divisions=6)
+        assert np.allclose(rs.sum(axis=1), 0.5)
+
+    def test_zdt1_reference_set_on_front(self):
+        rs = zdt1_reference_set(50)
+        assert np.allclose(rs[:, 1], 1.0 - np.sqrt(rs[:, 0]))
+
+    def test_reference_set_for_problem_instances(self):
+        assert reference_set_for(DTLZ2(nobjs=3, nvars=12)).shape[1] == 3
+        assert reference_set_for(UF11()).shape[1] == 5
+        assert reference_set_for(DTLZ1(nobjs=3)).shape[1] == 3
+
+    def test_reference_set_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            reference_set_for("MysteryProblem")
+
+
+class TestIdealHypervolumes:
+    def test_sphere_2d_closed_form(self):
+        # r^2 - pi/4 for the quarter disc.
+        assert sphere_ideal_hypervolume(2, 1.1) == pytest.approx(
+            1.1**2 - math.pi / 4.0
+        )
+
+    def test_sphere_3d_closed_form(self):
+        assert sphere_ideal_hypervolume(3, 1.1) == pytest.approx(
+            1.1**3 - (4.0 / 3.0) * math.pi / 8.0
+        )
+
+    def test_sphere_matches_dense_exact_hv_3d(self):
+        rs = sphere_reference_set(3, divisions=30)
+        hv = hypervolume(rs, 1.1)
+        ideal = sphere_ideal_hypervolume(3, 1.1)
+        # A 496-point lattice under-covers the curved front by ~3%; the
+        # gap must be small and one-sided (discrete front <= true front).
+        assert hv < ideal
+        assert hv == pytest.approx(ideal, rel=0.05)
+
+    def test_plane_3d_closed_form(self):
+        # r^3 - 0.5^3/3! for the corner simplex.
+        assert plane_ideal_hypervolume(3, 1.1) == pytest.approx(
+            1.1**3 - 0.125 / 6.0
+        )
+
+    def test_plane_matches_dense_exact_hv(self):
+        rs = plane_reference_set(3, divisions=40)
+        hv = hypervolume(rs, 1.1)
+        assert hv == pytest.approx(plane_ideal_hypervolume(3, 1.1), rel=0.01)
+
+    def test_reference_below_nadir_rejected(self):
+        with pytest.raises(ValueError):
+            sphere_ideal_hypervolume(3, 0.9)
+
+    def test_ideal_for_uf11_equals_dtlz2(self):
+        assert ideal_hypervolume_for(UF11()) == pytest.approx(
+            ideal_hypervolume_for(DTLZ2(nobjs=5))
+        )
+
+
+class TestNormalizedHypervolume:
+    def test_true_front_scores_near_one(self):
+        metric = NormalizedHypervolume(
+            DTLZ2(nobjs=3, nvars=12), method="exact"
+        )
+        rs = sphere_reference_set(3, divisions=25)
+        value = metric(rs)
+        assert 0.9 < value <= 1.0  # discrete fronts under-cover slightly
+
+    def test_empty_front_scores_zero(self):
+        metric = NormalizedHypervolume(DTLZ2(nobjs=3, nvars=12))
+        assert metric(np.empty((0, 3))) == 0.0
+
+    def test_worse_front_scores_lower(self):
+        metric = NormalizedHypervolume(DTLZ2(nobjs=3, nvars=12), method="exact")
+        good = sphere_reference_set(3, divisions=10)
+        bad = good * 1.05  # pushed off the front
+        assert metric(bad) < metric(good)
+
+    def test_accepts_problem_name_string(self):
+        metric = NormalizedHypervolume("DTLZ2")
+        assert metric.ideal == pytest.approx(sphere_ideal_hypervolume(5))
+
+
+class TestDistanceIndicators:
+    REF = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+
+    def test_gd_zero_on_reference(self):
+        assert generational_distance(self.REF, self.REF) == 0.0
+
+    def test_gd_known_offset(self):
+        approx = self.REF + np.array([0.1, 0.0])
+        # Nearest reference point is 0.1 away in every case... except
+        # diagonal neighbours may be closer; just check positive & small.
+        gd = generational_distance(approx, self.REF)
+        assert 0.0 < gd <= 0.1 + 1e-12
+
+    def test_igd_penalises_poor_coverage(self):
+        full = self.REF
+        partial = np.array([[0.0, 1.0]])
+        assert inverted_generational_distance(
+            partial, full
+        ) > inverted_generational_distance(full, full)
+
+    def test_igd_zero_on_reference(self):
+        assert inverted_generational_distance(self.REF, self.REF) == 0.0
+
+    def test_additive_epsilon_zero_on_reference(self):
+        assert additive_epsilon(self.REF, self.REF) == pytest.approx(0.0)
+
+    def test_additive_epsilon_translation(self):
+        shifted = self.REF + 0.25
+        assert additive_epsilon(shifted, self.REF) == pytest.approx(0.25)
+
+    def test_empty_approximation_infinite(self):
+        empty = np.empty((0, 2))
+        assert generational_distance(empty, self.REF) == math.inf
+        assert inverted_generational_distance(empty, self.REF) == math.inf
+        assert additive_epsilon(empty, self.REF) == math.inf
+
+    def test_spacing_uniform_grid_zero(self):
+        A = np.array([[0.0, 1.0], [0.5, 0.5], [1.0, 0.0]])
+        assert spacing(A) == pytest.approx(0.0)
+
+    def test_spacing_uneven_positive(self):
+        A = np.array([[0.0, 1.0], [0.1, 0.9], [1.0, 0.0]])
+        assert spacing(A) > 0.0
+
+    def test_spacing_degenerate_sets(self):
+        assert spacing(np.array([[1.0, 2.0]])) == 0.0
+        assert spacing(np.empty((0, 2))) == 0.0

@@ -1,0 +1,188 @@
+"""Integration tests: end-to-end reproduction claims, cross-module.
+
+Each test here checks one of the paper's qualitative results at small
+scale, wiring several subsystems together (algorithm + timing + models
++ indicators).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BorgConfig, BorgMOEA
+from repro.core.events import RunHistory
+from repro.indicators import NormalizedHypervolume
+from repro.indicators.dynamics import attainment_times, hypervolume_trajectory
+from repro.models import AnalyticalModel, simulate_async
+from repro.parallel import run_async_master_slave, run_sync_master_slave
+from repro.problems import DTLZ2, UF11
+from repro.stats import constant_timing, ranger_timing
+
+
+@pytest.fixture(scope="module")
+def dtlz2_parallel_run():
+    """One shared mid-size async run on the paper's easy problem."""
+    timing = ranger_timing("DTLZ2", 16, 0.01)
+    return run_async_master_slave(
+        DTLZ2(nobjs=5),
+        16,
+        4000,
+        timing,
+        config=BorgConfig(initial_population_size=100),
+        seed=42,
+        snapshot_interval=200,
+    )
+
+
+class TestTableIIShape:
+    """The three headline behaviours of Table II, at reduced scale."""
+
+    def test_analytical_ok_then_fails_with_p(self):
+        nfe = 2000
+        errors = {}
+        for p in (16, 256):
+            timing = ranger_timing("DTLZ2", p, 0.001)
+            exp = run_async_master_slave(
+                DTLZ2(nobjs=5), p, nfe, timing,
+                config=BorgConfig(initial_population_size=100), seed=3,
+            )
+            model = AnalyticalModel.from_timing(timing)
+            predicted = model.parallel_time(nfe, p)
+            errors[p] = abs(exp.elapsed - predicted) / exp.elapsed
+        assert errors[16] < 0.10       # paper row: small error (few %)
+        assert errors[256] > 0.80      # paper row: ~93% error
+
+    def test_simulation_model_accurate_everywhere(self):
+        nfe = 2000
+        for p in (16, 256):
+            timing = ranger_timing("DTLZ2", p, 0.001)
+            exp = run_async_master_slave(
+                DTLZ2(nobjs=5), p, nfe, timing,
+                config=BorgConfig(initial_population_size=100), seed=3,
+            )
+            sim = simulate_async(p, nfe, timing, seed=99)
+            error = abs(exp.elapsed - sim.elapsed) / exp.elapsed
+            assert error < 0.10
+
+    def test_efficiency_peaks_below_analytic_upper_bound(self):
+        """§VI: P_UB says 244 for DTLZ2/TF=0.01, but measured efficiency
+        peaks far lower."""
+        nfe = 3000
+        effs = {}
+        for p in (16, 32, 512):
+            timing = ranger_timing("DTLZ2", p, 0.01)
+            exp = run_async_master_slave(
+                DTLZ2(nobjs=5), p, nfe, timing,
+                config=BorgConfig(initial_population_size=100), seed=5,
+            )
+            ts = nfe * (timing.mean_tf + timing.mean_ta)
+            effs[p] = exp.efficiency(ts)
+        assert effs[32] > 0.85
+        assert effs[512] < 0.4
+
+    def test_elapsed_time_floors_instead_of_halving(self):
+        nfe = 2000
+        times = {}
+        for p in (256, 1024):
+            timing = ranger_timing("DTLZ2", p, 0.001)
+            exp = run_async_master_slave(
+                DTLZ2(nobjs=5), p, nfe, timing,
+                config=BorgConfig(initial_population_size=100), seed=7,
+            )
+            times[p] = exp.elapsed
+        # Quadrupling P buys nothing once the master saturates.
+        assert times[1024] > 0.8 * times[256]
+
+
+class TestHypervolumeSpeedupMachinery:
+    def test_parallel_run_attains_thresholds(self, dtlz2_parallel_run):
+        metric = NormalizedHypervolume(
+            DTLZ2(nobjs=5), method="monte-carlo", samples=10_000
+        )
+        times, values = hypervolume_trajectory(
+            dtlz2_parallel_run.history, metric
+        )
+        assert values[-1] > 0.3          # search made real progress
+        attain = attainment_times(
+            dtlz2_parallel_run.history, metric, [0.1, 0.2, 0.3]
+        )
+        finite = attain[~np.isnan(attain)]
+        assert finite.size >= 2
+        assert np.all(np.diff(finite) >= 0)
+
+    def test_serial_and_parallel_reach_similar_quality(self):
+        metric = NormalizedHypervolume(
+            DTLZ2(nobjs=5), method="monte-carlo", samples=10_000
+        )
+        serial = BorgMOEA(
+            DTLZ2(nobjs=5), BorgConfig(initial_population_size=100), seed=1
+        ).run(4000)
+        timing = ranger_timing("DTLZ2", 16, 0.01)
+        parallel = run_async_master_slave(
+            DTLZ2(nobjs=5), 16, 4000, timing,
+            config=BorgConfig(initial_population_size=100), seed=1,
+        )
+        hv_serial = metric(serial.objectives)
+        hv_parallel = metric(parallel.borg.objectives)
+        assert hv_parallel == pytest.approx(hv_serial, abs=0.15)
+
+
+class TestUF11Harder:
+    def test_uf11_converges_slower_than_dtlz2(self):
+        """The paper's problem pairing: same budget, rotated problem
+        ends with worse normalised hypervolume."""
+        budget = 4000
+        config = BorgConfig(initial_population_size=100)
+        hv_dtlz2 = NormalizedHypervolume(
+            DTLZ2(nobjs=5), method="monte-carlo", samples=10_000
+        )(BorgMOEA(DTLZ2(nobjs=5), config, seed=9).run(budget).objectives)
+        hv_uf11 = NormalizedHypervolume(
+            UF11(), method="monte-carlo", samples=10_000
+        )(BorgMOEA(UF11(), config, seed=9).run(budget).objectives)
+        assert hv_uf11 < hv_dtlz2
+
+    def test_uf11_master_overhead_calibration_higher(self):
+        dtlz2 = ranger_timing("DTLZ2", 64, 0.01)
+        uf11 = ranger_timing("UF11", 64, 0.01)
+        assert uf11.mean_ta > dtlz2.mean_ta
+
+
+class TestSyncVsAsyncEndToEnd:
+    def test_async_faster_with_variable_tf(self):
+        """§VI-B's closing claim, end to end with the real algorithm:
+        high TF variance stalls generations but not the pipeline."""
+        from repro.stats import Gamma, Constant
+        from repro.stats.timing import TimingModel
+
+        timing = TimingModel(
+            t_f=Gamma.from_mean_cv(0.01, 1.0),
+            t_c=Constant(6e-6),
+            t_a=Constant(29e-6),
+        )
+        config = BorgConfig(initial_population_size=32)
+        sync = run_sync_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 16, 1500, timing, config=config, seed=2
+        )
+        async_ = run_async_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 16, 1500, timing, config=config, seed=2
+        )
+        assert async_.elapsed < sync.elapsed * 0.75
+
+
+class TestRestartsUnderParallelism:
+    def test_restarts_fire_in_parallel_runs(self):
+        timing = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        result = run_async_master_slave(
+            DTLZ2(nobjs=2, nvars=11),
+            16,
+            3000,
+            timing,
+            config=BorgConfig(
+                initial_population_size=32,
+                restart_check_interval=50,
+                epsilons=[0.01, 0.01],
+                min_population_size=8,
+            ),
+            seed=6,
+        )
+        assert result.borg.restarts >= 1
+        assert result.history.total_restarts == result.borg.restarts

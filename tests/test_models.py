@@ -1,0 +1,221 @@
+"""Tests for the performance models (Eqs. 1-6 and the simulation model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AnalyticalModel,
+    SynchronousModel,
+    async_parallel_time,
+    compare_models,
+    efficiency,
+    expected_generation_max,
+    predict_async_time,
+    predict_sync_time,
+    processor_lower_bound,
+    processor_upper_bound,
+    serial_time,
+    simulate_async,
+    simulate_sync,
+    speedup,
+    sync_parallel_time,
+)
+from repro.stats import constant_timing, ranger_timing
+
+
+class TestAnalyticalEquations:
+    def test_eq1_serial_time(self):
+        assert serial_time(1000, 0.01, 1e-5) == pytest.approx(10.01)
+
+    def test_eq2_parallel_time(self):
+        # N/(P-1) * (TF + 2TC + TA)
+        t = async_parallel_time(1000, 11, 0.01, 1e-6, 1e-5)
+        assert t == pytest.approx(100 * (0.01 + 2e-6 + 1e-5))
+
+    def test_eq2_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            async_parallel_time(100, 1, 0.01, 0.0, 0.0)
+
+    def test_eq3_paper_worked_example(self):
+        """§VI: DTLZ2, TA=0.000029, TC=0.000006, TF=0.01 -> P_UB = 244."""
+        pub = processor_upper_bound(0.01, 0.000006, 0.000029)
+        assert pub == pytest.approx(243.9, abs=0.1)
+
+    def test_eq4_always_above_two(self):
+        # Strictly above 2 whenever communication costs anything; the
+        # tc = 0 limit degenerates to exactly 2.
+        for tf, tc, ta in [(0.001, 6e-6, 2e-5), (1.0, 1e-3, 0.0)]:
+            assert processor_lower_bound(tf, tc, ta) > 2.0
+        assert processor_lower_bound(1e-6, 0.0, 1e-6) == pytest.approx(2.0)
+
+    def test_eq4_limit_of_zero_communication(self):
+        assert processor_lower_bound(0.01, 0.0, 1e-5) == pytest.approx(2.0)
+
+    def test_speedup_efficiency_consistency(self):
+        s = speedup(1000, 17, 0.01, 6e-6, 2e-5)
+        e = efficiency(1000, 17, 0.01, 6e-6, 2e-5)
+        assert e == pytest.approx(s / 17)
+
+    def test_speedup_grows_with_processors_in_model(self):
+        s小 = speedup(1000, 9, 0.1, 6e-6, 2e-5)
+        s大 = speedup(1000, 129, 0.1, 6e-6, 2e-5)
+        assert s大 > s小
+
+    def test_model_bundle_matches_functions(self):
+        m = AnalyticalModel(tf=0.01, tc=6e-6, ta=2e-5)
+        assert m.parallel_time(500, 33) == pytest.approx(
+            async_parallel_time(500, 33, 0.01, 6e-6, 2e-5)
+        )
+        assert m.processor_upper_bound == pytest.approx(
+            processor_upper_bound(0.01, 6e-6, 2e-5)
+        )
+
+    def test_from_timing_uses_means(self):
+        tm = ranger_timing("DTLZ2", 128, 0.01)
+        m = AnalyticalModel.from_timing(tm)
+        assert m.tf == pytest.approx(0.01, rel=1e-3)
+        assert m.ta == pytest.approx(29e-6, rel=0.01)
+
+
+class TestCantuPazModel:
+    def test_eq6_formula(self):
+        # N/P * (TF + P TC + P TA)
+        t = sync_parallel_time(1000, 10, 0.01, 1e-4, 1e-5)
+        assert t == pytest.approx(100 * (0.01 + 10e-4 + 10e-5))
+
+    def test_explicit_ta_sync_override(self):
+        t = sync_parallel_time(1000, 10, 0.01, 0.0, 0.0, ta_sync=0.05)
+        assert t == pytest.approx(100 * 0.06)
+
+    def test_sync_efficiency_declines_with_p(self):
+        m = SynchronousModel(tf=0.01, tc=6e-5, ta=6e-6)
+        effs = [m.efficiency(1000, p) for p in (2, 16, 256, 4096)]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_straggler_penalty_grows_with_cv(self):
+        m0 = SynchronousModel(tf=0.01, tc=6e-6, ta=1e-6, tf_cv=0.0)
+        m1 = SynchronousModel(tf=0.01, tc=6e-6, ta=1e-6, tf_cv=0.5)
+        assert m1.parallel_time(1000, 64, stragglers=True) > m0.parallel_time(
+            1000, 64, stragglers=True
+        )
+
+    def test_expected_max_formula(self):
+        assert expected_generation_max(1.0, 0.0, 100) == 1.0
+        assert expected_generation_max(1.0, 0.1, 1) == 1.0
+        e = expected_generation_max(1.0, 0.1, 100)
+        assert e == pytest.approx(1.0 + 0.1 * math.sqrt(2 * math.log(100)))
+
+    def test_efficiency_surface_shape(self):
+        m = SynchronousModel(tf=0.0, tc=6e-5, ta=6e-6)
+        surf = m.efficiency_surface(
+            np.array([0.001, 0.1]), np.array([2, 16]), nfe=100
+        )
+        assert surf.shape == (2, 2)
+        # More TF -> more efficient at fixed P.
+        assert surf[1, 0] > surf[0, 0]
+
+
+class TestSimulationModel:
+    def test_matches_analytical_below_saturation(self, fast_timing):
+        # P - 1 = 63 workers << P_UB ~ 244.
+        out = simulate_async(64, 2000, fast_timing.as_constant(), seed=1)
+        expected = async_parallel_time(2000, 64, 0.01, 6e-6, 29e-6)
+        assert out.elapsed == pytest.approx(expected, rel=0.03)
+
+    def test_floors_at_master_saturation(self, fast_timing):
+        tm = fast_timing.as_constant()
+        out = simulate_async(1024, 2000, tm, seed=1)
+        # Master-bound: sequential initial dispatch of P-1 candidates,
+        # then N results at 2 TC + TA master-service each -- far above
+        # Eq. 2's prediction.
+        startup = 1023 * (29e-6 + 6e-6)
+        floor = startup + 2000 * (2 * 6e-6 + 29e-6)
+        assert out.elapsed == pytest.approx(floor, rel=0.05)
+        assert out.elapsed > 3 * async_parallel_time(2000, 1024, 0.01, 6e-6, 29e-6)
+
+    def test_master_utilization_saturates(self, fast_timing):
+        tm = fast_timing.as_constant()
+        low = simulate_async(16, 1000, tm, seed=1)
+        high = simulate_async(1024, 1000, tm, seed=1)
+        assert low.master_utilization < 0.2
+        assert high.master_utilization > 0.95
+
+    def test_queueing_grows_with_processors(self, fast_timing):
+        tm = fast_timing.as_constant()
+        low = simulate_async(16, 1000, tm, seed=1)
+        high = simulate_async(1024, 1000, tm, seed=1)
+        assert high.master_mean_wait > low.master_mean_wait
+
+    def test_nfe_exact(self, fast_timing):
+        out = simulate_async(16, 777, fast_timing, seed=3)
+        assert out.nfe == 777
+
+    def test_seeded_determinism(self, fast_timing):
+        a = simulate_async(32, 500, fast_timing, seed=9)
+        b = simulate_async(32, 500, fast_timing, seed=9)
+        assert a.elapsed == b.elapsed
+
+    def test_validation(self, fast_timing):
+        with pytest.raises(ValueError):
+            simulate_async(1, 100, fast_timing)
+        with pytest.raises(ValueError):
+            simulate_async(4, 0, fast_timing)
+        with pytest.raises(ValueError):
+            simulate_sync(1, 100, fast_timing)
+        with pytest.raises(ValueError):
+            simulate_sync(4, 0, fast_timing)
+
+    def test_sync_slower_than_async_at_scale(self, fast_timing):
+        sync = simulate_sync(128, 2000, fast_timing, seed=2)
+        async_ = simulate_async(128, 2000, fast_timing, seed=2)
+        assert sync.elapsed > async_.elapsed
+
+    def test_sync_matches_eq6_shape(self):
+        # With constant times and barriers the per-generation cost is
+        # close to TF + P TC + P TA (plus dispatch skew).
+        tm = constant_timing(tf=0.1, tc=1e-4, ta=1e-5)
+        P, N = 8, 64
+        out = simulate_sync(P, N, tm, seed=1)
+        eq6 = sync_parallel_time(N, P, 0.1, 1e-4, 1e-5)
+        assert out.elapsed == pytest.approx(eq6, rel=0.2)
+
+
+class TestExtrapolation:
+    def test_exact_when_budget_covers_nfe(self, fast_timing):
+        exact = simulate_async(16, 1500, fast_timing, seed=4).elapsed
+        predicted = predict_async_time(16, 1500, fast_timing, seed=4)
+        assert predicted == pytest.approx(exact)
+
+    def test_extrapolation_close_to_full_simulation(self, fast_timing):
+        full = simulate_async(32, 20_000, fast_timing, seed=5).elapsed
+        predicted = predict_async_time(
+            32, 20_000, fast_timing, seed=5, sim_nfe=2_000
+        )
+        assert predicted == pytest.approx(full, rel=0.05)
+
+    def test_sync_extrapolation(self, fast_timing):
+        full = simulate_sync(16, 8_000, fast_timing, seed=6).elapsed
+        predicted = predict_sync_time(
+            16, 8_000, fast_timing, seed=6, sim_nfe=1_000
+        )
+        assert predicted == pytest.approx(full, rel=0.1)
+
+
+class TestCompareModels:
+    def test_eq5_errors_computed(self):
+        row = compare_models(
+            problem="DTLZ2",
+            processors=64,
+            ta=27e-6,
+            tc=6e-6,
+            tf=0.01,
+            experimental_time=16.6,
+            experimental_efficiency=0.94,
+            analytical_time=16.0,
+            simulation_time=16.0,
+        )
+        assert row.analytical_error == pytest.approx(0.6 / 16.6)
+        assert row.simulation_error == pytest.approx(0.6 / 16.6)
+        assert len(row.as_row()) == 11

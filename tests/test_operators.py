@@ -1,0 +1,341 @@
+"""Unit tests for the six Borg variation operators (plus PM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import (
+    OPERATOR_NAMES,
+    PCX,
+    SBX,
+    SPX,
+    UNDX,
+    CompoundVariator,
+    DifferentialEvolution,
+    PolynomialMutation,
+    UniformMutation,
+    default_operators,
+    gram_schmidt,
+)
+
+L = 10
+LB = np.zeros(L)
+UB = np.ones(L)
+
+
+def random_parents(k, rng, lb=LB, ub=UB):
+    return lb + rng.random((k, lb.size)) * (ub - lb)
+
+
+class TestVariatorContract:
+    """Shared contract: shape, bounds, parent count validation."""
+
+    @pytest.fixture(params=["sbx", "de", "pcx", "spx", "undx", "um", "pm"])
+    def operator(self, request):
+        return {
+            "sbx": SBX(LB, UB),
+            "de": DifferentialEvolution(LB, UB),
+            "pcx": PCX(LB, UB, nparents=5),
+            "spx": SPX(LB, UB, nparents=5),
+            "undx": UNDX(LB, UB, nparents=5),
+            "um": UniformMutation(LB, UB, rate=0.5),
+            "pm": PolynomialMutation(LB, UB, rate=0.5),
+        }[request.param]
+
+    def test_offspring_shape(self, operator, rng):
+        parents = random_parents(operator.arity, rng)
+        children = operator.evolve(parents, rng)
+        assert children.shape == (operator.noffspring, L)
+
+    def test_offspring_within_bounds(self, operator, rng):
+        for _ in range(25):
+            parents = random_parents(operator.arity, rng)
+            children = operator.evolve(parents, rng)
+            assert np.all(children >= LB - 1e-12)
+            assert np.all(children <= UB + 1e-12)
+
+    def test_too_few_parents_rejected(self, operator, rng):
+        if operator.arity == 1:
+            pytest.skip("unary operator accepts any input")
+        parents = random_parents(operator.arity - 1, rng)
+        with pytest.raises(ValueError):
+            operator.evolve(parents, rng)
+
+    def test_parents_not_mutated(self, operator, rng):
+        parents = random_parents(operator.arity, rng)
+        before = parents.copy()
+        operator.evolve(parents, rng)
+        assert np.array_equal(parents, before)
+
+
+class TestSBX:
+    def test_identical_parents_unchanged(self, rng):
+        x = rng.random(L)
+        children = SBX(LB, UB).evolve(np.vstack([x, x]), rng)
+        assert np.allclose(children[0], x)
+        assert np.allclose(children[1], x)
+
+    def test_children_mean_near_parent_mean(self, rng):
+        """SBX is mean-preserving per crossed variable (pre-clip)."""
+        sbx = SBX(LB, UB, rate=1.0, distribution_index=15.0)
+        x1 = np.full(L, 0.3)
+        x2 = np.full(L, 0.7)
+        means = []
+        for _ in range(400):
+            c = sbx.evolve(np.vstack([x1, x2]), rng)
+            means.append(c.mean(axis=0))
+        grand = np.mean(means, axis=0)
+        assert np.allclose(grand, 0.5, atol=0.02)
+
+    def test_high_eta_keeps_children_near_parents(self, rng):
+        tight = SBX(LB, UB, distribution_index=200.0)
+        x1 = np.full(L, 0.3)
+        x2 = np.full(L, 0.7)
+        for _ in range(50):
+            c = tight.evolve(np.vstack([x1, x2]), rng)
+            for child in c:
+                # Each gene near one of the parent values.
+                near = np.minimum(np.abs(child - 0.3), np.abs(child - 0.7))
+                assert np.all(near < 0.1)
+
+    def test_zero_rate_copies_parents(self, rng):
+        sbx = SBX(LB, UB, rate=0.0)
+        p = random_parents(2, rng)
+        c = sbx.evolve(p, rng)
+        assert np.allclose(np.sort(c, axis=0), np.sort(p, axis=0))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SBX(LB, UB, rate=1.5)
+
+    def test_invalid_eta_rejected(self):
+        with pytest.raises(ValueError):
+            SBX(LB, UB, distribution_index=0.0)
+
+
+class TestDifferentialEvolution:
+    def test_zero_difference_copies_base(self, rng):
+        de = DifferentialEvolution(LB, UB)
+        base = rng.random(L)
+        same = rng.random(L)
+        c = de.evolve(np.vstack([base, same, same.copy(), same.copy()]), rng)
+        # mutant = same + F*(same - same) = same; only the guaranteed
+        # crossover point differs from base.
+        diff = np.flatnonzero(~np.isclose(c[0], base))
+        assert all(np.isclose(c[0][i], same[i]) for i in diff)
+
+    def test_at_least_one_variable_crosses(self, rng):
+        de = DifferentialEvolution(LB, UB, crossover_rate=0.0)
+        for _ in range(20):
+            p = random_parents(4, rng)
+            c = de.evolve(p, rng)[0]
+            assert np.any(~np.isclose(c, p[0]))
+
+    def test_step_size_scales_perturbation(self, rng):
+        p = random_parents(4, rng)
+        big = DifferentialEvolution(LB, UB, crossover_rate=1.0, step_size=0.9)
+        small = DifferentialEvolution(LB, UB, crossover_rate=1.0, step_size=0.1)
+        cb = big.evolve(p, np.random.default_rng(0))[0]
+        cs = small.evolve(p, np.random.default_rng(0))[0]
+        mutant_dist_big = np.linalg.norm(cb - p[1])
+        mutant_dist_small = np.linalg.norm(cs - p[1])
+        assert mutant_dist_big > mutant_dist_small
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialEvolution(LB, UB, crossover_rate=-0.1)
+        with pytest.raises(ValueError):
+            DifferentialEvolution(LB, UB, step_size=0.0)
+
+
+class TestPCX:
+    def test_offspring_centred_on_parents(self, rng):
+        pcx = PCX(LB, UB, nparents=5, noffspring=1)
+        parents = 0.4 + 0.2 * rng.random((5, L))
+        children = np.vstack(
+            [pcx.evolve(parents, rng) for _ in range(100)]
+        )
+        # Children concentrate near the parent cloud.
+        assert np.linalg.norm(children.mean(axis=0) - parents.mean(axis=0)) < 0.2
+
+    def test_degenerate_identical_parents(self, rng):
+        pcx = PCX(LB, UB, nparents=4)
+        x = rng.random(L)
+        parents = np.vstack([x] * 4)
+        children = pcx.evolve(parents, rng)
+        assert np.allclose(children, x)
+
+    def test_small_zeta_eta_keep_children_close(self, rng):
+        pcx = PCX(LB, UB, nparents=5, eta=0.01, zeta=0.01)
+        parents = 0.5 + 0.1 * rng.standard_normal((5, L)).clip(-0.4, 0.4)
+        parents = parents.clip(0, 1)
+        children = pcx.evolve(parents, rng)
+        d = min(np.linalg.norm(children[0] - p) for p in parents)
+        assert d < 0.2
+
+    def test_needs_two_parents(self):
+        with pytest.raises(ValueError):
+            PCX(LB, UB, nparents=1)
+
+
+class TestSPX:
+    def test_expansion_one_stays_in_simplex_hull_mean(self, rng):
+        spx = SPX(LB, UB, nparents=4, noffspring=1, expansion=1.0)
+        parents = random_parents(4, rng)
+        children = np.vstack([spx.evolve(parents, rng) for _ in range(300)])
+        centroid = parents.mean(axis=0)
+        assert np.allclose(children.mean(axis=0), centroid, atol=0.1)
+
+    def test_degenerate_identical_parents(self, rng):
+        spx = SPX(LB, UB, nparents=4)
+        x = rng.random(L)
+        children = spx.evolve(np.vstack([x] * 4), rng)
+        assert np.allclose(children, x)
+
+    def test_larger_expansion_spreads_more(self):
+        parents = random_parents(4, np.random.default_rng(5))
+        spreads = {}
+        for eps in (1.0, 3.0):
+            spx = SPX(LB, UB, nparents=4, expansion=eps)
+            rng = np.random.default_rng(0)
+            kids = np.vstack([spx.evolve(parents, rng) for _ in range(200)])
+            spreads[eps] = kids.std(axis=0).mean()
+        assert spreads[3.0] > spreads[1.0]
+
+    def test_invalid_expansion_rejected(self):
+        with pytest.raises(ValueError):
+            SPX(LB, UB, expansion=0.0)
+
+
+class TestUNDX:
+    def test_offspring_centred_on_primary_centroid(self, rng):
+        undx = UNDX(LB, UB, nparents=5, noffspring=1)
+        parents = 0.3 + 0.4 * rng.random((5, L))
+        children = np.vstack([undx.evolve(parents, rng) for _ in range(300)])
+        g = parents[:4].mean(axis=0)
+        assert np.allclose(children.mean(axis=0), g, atol=0.08)
+
+    def test_degenerate_identical_parents(self, rng):
+        undx = UNDX(LB, UB, nparents=4)
+        x = rng.random(L)
+        children = undx.evolve(np.vstack([x] * 4), rng)
+        assert np.allclose(children, x)
+
+    def test_needs_three_parents(self):
+        with pytest.raises(ValueError):
+            UNDX(LB, UB, nparents=2)
+
+
+class TestMutation:
+    def test_um_default_rate_is_one_over_L(self):
+        assert UniformMutation(LB, UB).rate == pytest.approx(1.0 / L)
+
+    def test_um_rate_one_resamples_everything(self, rng):
+        um = UniformMutation(LB, UB, rate=1.0)
+        x = np.full(L, 0.5)
+        children = np.vstack([um.evolve(x[None, :], rng) for _ in range(50)])
+        # Resampled uniformly: spread across [0, 1].
+        assert children.std() > 0.2
+
+    def test_um_rate_zero_copies(self, rng):
+        um = UniformMutation(LB, UB, rate=0.0)
+        x = rng.random(L)
+        assert np.array_equal(um.evolve(x[None, :], rng)[0], x)
+
+    def test_um_expected_flip_count(self):
+        um = UniformMutation(LB, UB, rate=0.3)
+        rng = np.random.default_rng(0)
+        x = np.full(L, 0.5)
+        flips = 0
+        trials = 2000
+        for _ in range(trials):
+            child = um.evolve(x[None, :], rng)[0]
+            flips += np.count_nonzero(child != x)
+        rate = flips / (trials * L)
+        assert rate == pytest.approx(0.3, abs=0.02)
+
+    def test_pm_default_rate_is_one_over_L(self):
+        assert PolynomialMutation(LB, UB).rate == pytest.approx(1.0 / L)
+
+    def test_pm_large_eta_small_steps(self, rng):
+        pm = PolynomialMutation(LB, UB, rate=1.0, distribution_index=500.0)
+        x = np.full(L, 0.5)
+        child = pm.evolve(x[None, :], rng)[0]
+        assert np.all(np.abs(child - x) < 0.05)
+
+    def test_pm_handles_degenerate_bounds(self, rng):
+        lb = np.zeros(3)
+        ub = np.array([1.0, 0.0 + 1e-300, 1.0])
+        lb[1] = ub[1]  # zero-width variable
+        pm = PolynomialMutation(lb, np.maximum(ub, lb), rate=1.0)
+        x = np.array([0.5, lb[1], 0.5])
+        child = pm.evolve(x[None, :], rng)[0]
+        assert child[1] == lb[1]
+
+    def test_pm_symmetry_about_centre(self):
+        pm = PolynomialMutation(LB, UB, rate=1.0, distribution_index=20.0)
+        rng = np.random.default_rng(0)
+        x = np.full(L, 0.5)
+        deltas = []
+        for _ in range(500):
+            deltas.append(pm.evolve(x[None, :], rng)[0] - x)
+        mean_delta = np.mean(deltas)
+        assert abs(mean_delta) < 0.01
+
+
+class TestCompoundVariator:
+    def test_sbx_pm_pipeline_shape(self, rng):
+        comp = CompoundVariator("sbx", SBX(LB, UB), PolynomialMutation(LB, UB))
+        children = comp.evolve(random_parents(2, rng), rng)
+        assert children.shape == (2, L)
+        assert comp.name == "sbx"
+        assert comp.arity == 2
+
+    def test_trailing_stage_must_be_unary(self):
+        with pytest.raises(ValueError):
+            CompoundVariator("bad", SBX(LB, UB), SBX(LB, UB))
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            CompoundVariator("empty")
+
+
+class TestDefaultEnsemble:
+    def test_six_operators_with_canonical_names(self):
+        ops = default_operators(LB, UB)
+        assert tuple(op.name for op in ops) == OPERATOR_NAMES
+
+    def test_all_bound_to_decision_space(self):
+        ops = default_operators(LB, UB)
+        for op in ops:
+            assert np.array_equal(op.lower, LB)
+            assert np.array_equal(op.upper, UB)
+
+    def test_multiparent_arity_floor(self):
+        ops = default_operators(LB, UB, multiparent_arity=2)
+        by_name = {op.name: op for op in ops}
+        assert by_name["pcx"].arity >= 3
+
+
+class TestGramSchmidt:
+    def test_orthonormality(self, rng):
+        vectors = rng.standard_normal((4, 6))
+        basis = gram_schmidt(vectors)
+        B = np.vstack(basis)
+        assert np.allclose(B @ B.T, np.eye(len(basis)), atol=1e-10)
+
+    def test_degenerate_directions_dropped(self):
+        v = np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 1.0]])
+        basis = gram_schmidt(v)
+        assert len(basis) == 2
+
+    def test_against_existing_basis(self):
+        existing = [np.array([1.0, 0.0, 0.0])]
+        basis = gram_schmidt(np.array([[1.0, 1.0, 0.0]]), against=existing)
+        assert len(basis) == 1
+        assert abs(np.dot(basis[0], existing[0])) < 1e-12
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            SBX(np.ones(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            SBX(np.zeros(3), np.zeros(2))

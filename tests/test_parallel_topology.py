@@ -1,0 +1,141 @@
+"""Tests for topology planning, multi-master and island extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import BorgConfig
+from repro.parallel import (
+    TopologyPlan,
+    run_island_model,
+    run_multi_master,
+    suggest_partition,
+)
+from repro.problems import DTLZ2
+from repro.stats import constant_timing
+
+
+def factory():
+    return DTLZ2(nobjs=2, nvars=11)
+
+
+@pytest.fixture
+def config():
+    return BorgConfig(
+        initial_population_size=24,
+        epsilons=[0.02, 0.02],
+        min_population_size=8,
+    )
+
+
+class TestSuggestPartition:
+    def test_small_tf_prefers_small_instances(self):
+        # TF = 1 ms saturates a master quickly: the planner must not
+        # pick instances anywhere near 1024 processors.
+        tm = constant_timing(tf=0.001, tc=6e-6, ta=29e-6)
+        plan = suggest_partition(1024, tm, nfe=3000)
+        assert plan.processors_per_instance <= 64
+        assert plan.instances >= 16
+
+    def test_large_tf_prefers_large_instances(self):
+        tm = constant_timing(tf=1.0, tc=6e-6, ta=29e-6)
+        plan = suggest_partition(1024, tm, nfe=2000)
+        assert plan.processors_per_instance >= 256
+
+    def test_plan_accounting(self):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = suggest_partition(100, tm, nfe=2000, candidates=(16, 32, 64))
+        assert (
+            plan.instances * plan.processors_per_instance + plan.leftover
+            == 100
+        )
+
+    def test_no_fitting_candidate_raises(self):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        with pytest.raises(ValueError):
+            suggest_partition(8, tm, candidates=(16, 32))
+
+    def test_too_few_processors_rejected(self):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        with pytest.raises(ValueError):
+            suggest_partition(1, tm)
+
+    def test_str_smoke(self):
+        plan = TopologyPlan(64, 4, 16, 0.93, 0)
+        assert "4 instance(s)" in str(plan)
+
+
+class TestMultiMaster:
+    def test_merged_archive_combines_instances(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = TopologyPlan(32, 2, 16, 0.9, 0)
+        result = run_multi_master(factory, plan, 600, tm, config=config, seed=1)
+        assert len(result.instances) == 2
+        assert result.total_nfe == 1200
+        assert len(result.merged_archive) > 0
+        assert result.merged_objectives.shape[1] == 2
+
+    def test_elapsed_is_slowest_instance(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = TopologyPlan(32, 2, 16, 0.9, 0)
+        result = run_multi_master(factory, plan, 400, tm, config=config, seed=2)
+        assert result.elapsed == pytest.approx(
+            max(r.elapsed for r in result.instances)
+        )
+
+    def test_merged_archive_nondominated(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = TopologyPlan(48, 3, 16, 0.9, 0)
+        result = run_multi_master(factory, plan, 500, tm, config=config, seed=3)
+        F = result.merged_objectives
+        boxes = np.floor(F / 0.02)
+        for i in range(len(F)):
+            for j in range(len(F)):
+                if i != j:
+                    assert not (
+                        np.all(boxes[i] <= boxes[j])
+                        and np.any(boxes[i] < boxes[j])
+                    )
+
+    def test_empty_plan_rejected(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = TopologyPlan(8, 0, 16, 0.9, 8)
+        with pytest.raises(ValueError):
+            run_multi_master(factory, plan, 100, tm, config=config)
+
+
+class TestIslandModel:
+    def test_runs_all_islands_to_budget(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        result = run_island_model(
+            factory, islands=2, processors_per_island=4,
+            max_nfe_per_island=300, timing=tm, config=config, seed=4,
+        )
+        assert result.per_island_nfe == [300, 300]
+        assert result.total_nfe == 600
+        assert result.elapsed > 0
+
+    def test_migrations_happen(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        result = run_island_model(
+            factory, islands=3, processors_per_island=4,
+            max_nfe_per_island=400, timing=tm, config=config, seed=5,
+        )
+        assert result.migrations > 0
+        assert len(result.merged_archive) > 0
+
+    def test_single_island_no_migration(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        result = run_island_model(
+            factory, islands=1, processors_per_island=4,
+            max_nfe_per_island=200, timing=tm, config=config, seed=6,
+        )
+        assert result.migrations == 0
+
+    def test_validation(self, config):
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        with pytest.raises(ValueError):
+            run_island_model(factory, islands=0, processors_per_island=4,
+                             max_nfe_per_island=10, timing=tm, config=config)
+        with pytest.raises(ValueError):
+            run_island_model(factory, islands=2, processors_per_island=1,
+                             max_nfe_per_island=10, timing=tm, config=config)

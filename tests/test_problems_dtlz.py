@@ -1,0 +1,119 @@
+"""Unit tests for the DTLZ suite."""
+
+import numpy as np
+import pytest
+
+from repro.problems import DTLZ1, DTLZ2, DTLZ3, DTLZ4
+from repro.core import Solution
+
+
+def eval_at(problem, x):
+    s = Solution(np.asarray(x, dtype=float))
+    problem.evaluate(s)
+    return s.objectives
+
+
+class TestDTLZ2:
+    def test_default_dimensions(self):
+        p = DTLZ2(nobjs=5)
+        assert p.nvars == 14  # nobjs + k - 1, k = 10
+        assert p.nobjs == 5
+
+    def test_optimum_lies_on_unit_sphere(self):
+        p = DTLZ2(nobjs=3, nvars=12)
+        x = np.full(12, 0.5)
+        x[:2] = [0.3, 0.8]  # arbitrary position variables
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) == pytest.approx(1.0)
+
+    def test_distance_variables_inflate_radius(self):
+        p = DTLZ2(nobjs=3, nvars=12)
+        x = np.full(12, 0.5)
+        x[5] = 0.9  # off-optimal distance variable
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) > 1.0
+
+    def test_corner_solutions(self):
+        p = DTLZ2(nobjs=3, nvars=12)
+        x = np.full(12, 0.5)
+        x[:2] = [0.0, 0.0]
+        f = eval_at(p, x)
+        assert f[0] == pytest.approx(1.0)
+        assert f[1] == pytest.approx(0.0, abs=1e-12)
+        assert f[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_objectives_nonnegative(self, rng):
+        p = DTLZ2(nobjs=5)
+        for _ in range(100):
+            f = eval_at(p, rng.random(p.nvars))
+            assert np.all(f >= 0.0)
+
+    def test_five_objective_epsilons(self):
+        assert np.allclose(DTLZ2(nobjs=5).default_epsilons(), 0.06)
+
+    def test_two_objective_epsilons(self):
+        assert np.allclose(DTLZ2(nobjs=2, nvars=11).default_epsilons(), 0.01)
+
+    def test_evaluation_counter(self, rng):
+        p = DTLZ2(nobjs=2, nvars=11)
+        for _ in range(5):
+            eval_at(p, rng.random(11))
+        assert p.evaluations == 5
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DTLZ2(nobjs=1)
+        with pytest.raises(ValueError):
+            DTLZ2(nobjs=5, nvars=3)
+
+
+class TestDTLZ1:
+    def test_front_sums_to_half(self):
+        p = DTLZ1(nobjs=3, nvars=7)
+        x = np.full(7, 0.5)
+        x[:2] = [0.2, 0.7]
+        f = eval_at(p, x)
+        assert f.sum() == pytest.approx(0.5)
+
+    def test_default_k_is_five(self):
+        assert DTLZ1(nobjs=3).nvars == 7
+
+    def test_multimodal_g_large_off_optimum(self):
+        p = DTLZ1(nobjs=3, nvars=7)
+        x = np.full(7, 0.5)
+        x[4] = 0.55
+        f = eval_at(p, x)
+        assert f.sum() > 0.5
+
+
+class TestDTLZ3:
+    def test_sphere_at_optimum(self):
+        p = DTLZ3(nobjs=3, nvars=12)
+        x = np.full(12, 0.5)
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) == pytest.approx(1.0)
+
+    def test_massively_multimodal(self):
+        p = DTLZ3(nobjs=3, nvars=12)
+        x = np.full(12, 0.45)  # near but off the optimum
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) > 10.0
+
+
+class TestDTLZ4:
+    def test_bias_collapses_position(self):
+        p = DTLZ4(nobjs=3, nvars=12, alpha=100.0)
+        x = np.full(12, 0.5)
+        x[:2] = [0.9, 0.9]   # 0.9^100 ~ 0 -> behaves like position 0
+        f = eval_at(p, x)
+        assert f[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_alpha_one_matches_dtlz2(self, rng):
+        x = rng.random(12)
+        f4 = eval_at(DTLZ4(nobjs=3, nvars=12, alpha=1.0), x)
+        f2 = eval_at(DTLZ2(nobjs=3, nvars=12), x)
+        assert np.allclose(f4, f2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            DTLZ4(alpha=0.0)

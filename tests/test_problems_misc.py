@@ -1,0 +1,250 @@
+"""Tests for ZDT, the engineering problems, TimedProblem, and the base."""
+
+import numpy as np
+import pytest
+
+from repro.core import Solution
+from repro.problems import (
+    ZDT1,
+    ZDT2,
+    ZDT3,
+    ZDT4,
+    ZDT6,
+    AircraftDesign,
+    FunctionProblem,
+    LakeProblem,
+    TimedProblem,
+)
+from repro.stats import Constant
+
+
+def eval_at(problem, x):
+    s = Solution(np.asarray(x, dtype=float))
+    problem.evaluate(s)
+    return s
+
+
+class TestZDT:
+    def test_zdt1_front(self):
+        p = ZDT1(nvars=10)
+        for f1 in (0.0, 0.25, 1.0):
+            x = np.zeros(10)
+            x[0] = f1
+            s = eval_at(p, x)
+            assert s.objectives[1] == pytest.approx(1.0 - np.sqrt(f1))
+
+    def test_zdt2_front(self):
+        p = ZDT2(nvars=10)
+        x = np.zeros(10)
+        x[0] = 0.5
+        s = eval_at(p, x)
+        assert s.objectives[1] == pytest.approx(1.0 - 0.25)
+
+    def test_zdt3_disconnected(self):
+        p = ZDT3(nvars=10)
+        x = np.zeros(10)
+        x[0] = 0.2
+        s = eval_at(p, x)
+        # h can be negative on ZDT3's optimal set.
+        assert s.objectives[1] < 1.0
+
+    def test_zdt4_bounds(self):
+        p = ZDT4()
+        assert p.lower[0] == 0.0 and p.upper[0] == 1.0
+        assert p.lower[1] == -5.0 and p.upper[1] == 5.0
+
+    def test_zdt4_multimodal(self):
+        p = ZDT4()
+        x = np.zeros(10)
+        x[1] = 1.0  # one Rastrigin bump away
+        s = eval_at(p, x)
+        assert s.objectives[1] > 1.0
+
+    def test_zdt6_biased_f1(self):
+        p = ZDT6()
+        x = np.zeros(10)
+        s = eval_at(p, x)
+        assert s.objectives[0] == pytest.approx(1.0)  # x1=0 -> f1=1
+
+
+class TestAircraftDesign:
+    def test_dimensions(self):
+        p = AircraftDesign()
+        assert p.nvars == 9
+        assert p.nobjs == 5
+        assert p.nconstraints == 9
+
+    def test_random_solutions_infeasible(self, rng):
+        """The point of the GAA-style problem: random designs violate
+        the requirements, so constraint handling is exercised."""
+        p = AircraftDesign()
+        feasible = 0
+        for _ in range(100):
+            s = p.random_solution(rng)
+            p.evaluate(s)
+            feasible += s.feasible
+        assert feasible < 10
+
+    def test_feasible_region_exists(self):
+        """A hand-tuned design meets all nine requirements."""
+        p = AircraftDesign()
+        x = np.array([150.2, 11.7, 20.1, 205.0, 0.0805, 2.0, 0.99, 7.9, 135.6])
+        s = eval_at(p, x)
+        assert s.constraint_violation < 5.0  # near-feasible by design
+
+    def test_objectives_have_tradeoffs(self, rng):
+        p = AircraftDesign()
+        F = np.array(
+            [eval_at(p, p.random_solution(rng).variables).objectives for _ in range(50)]
+        )
+        # Range (negated) should anticorrelate with fuel burn across designs.
+        assert F.shape == (50, 5)
+        assert np.all(np.isfinite(F))
+
+    def test_variable_names_documented(self):
+        assert len(AircraftDesign.VARIABLE_NAMES) == 9
+        assert len(AircraftDesign.OBJECTIVE_NAMES) == 5
+
+
+class TestLakeProblem:
+    def test_dimensions(self):
+        p = LakeProblem(horizon=20)
+        assert p.nvars == 20
+        assert p.nobjs == 4
+
+    def test_zero_discharge_is_safe_but_worthless(self):
+        p = LakeProblem()
+        s = eval_at(p, np.zeros(20))
+        benefit, peak, inertia, reliability = s.objectives
+        assert benefit == pytest.approx(0.0)      # no benefit (negated)
+        assert peak == pytest.approx(0.0)         # clean lake
+        assert reliability == pytest.approx(-1.0)  # always reliable
+
+    def test_max_discharge_tips_the_lake(self):
+        p = LakeProblem()
+        s = eval_at(p, np.full(20, 0.1))
+        benefit, peak, inertia, reliability = s.objectives
+        assert -benefit > 0.0
+        assert peak > 0.5           # crosses the critical threshold
+        assert -reliability < 1.0
+
+    def test_trajectory_monotone_under_constant_load(self):
+        p = LakeProblem()
+        x = p.simulate(np.full(20, 0.05))
+        assert x[0] == 0.0
+        assert np.all(np.diff(x) >= -1e-12)
+
+    def test_irreversibility_with_low_b(self):
+        """Once past the tipping point, phosphorus stays high even if
+        discharge stops (the lake recycles internally)."""
+        p = LakeProblem(b=0.42)
+        a = np.zeros(40)
+        a[:20] = 0.1   # pollute heavily...
+        x = p.__class__(horizon=40).simulate(a)
+        assert x[-1] > 0.5  # ...and the lake never recovers
+
+
+class TestTimedProblem:
+    def test_wraps_inner_evaluation(self, dtlz2_2d, rng):
+        timed = TimedProblem(dtlz2_2d, delay=0.01, seed=1)
+        s = timed.evaluate(timed.random_solution(rng))
+        assert s.evaluated
+        assert timed.evaluations == 1
+        assert dtlz2_2d.evaluations == 0  # inner counter untouched
+
+    def test_sampled_times_accumulate(self, dtlz2_2d, rng):
+        timed = TimedProblem(dtlz2_2d, delay=0.01, cv=0.1, seed=1)
+        for _ in range(20):
+            timed.evaluate(timed.random_solution(rng))
+        assert timed.total_evaluation_time == pytest.approx(
+            20 * 0.01, rel=0.25
+        )
+        assert timed.last_evaluation_time > 0.0
+
+    def test_distribution_delay_accepted(self, dtlz2_2d):
+        timed = TimedProblem(dtlz2_2d, delay=Constant(0.5))
+        assert timed.mean_evaluation_time == 0.5
+        assert timed.sample_evaluation_time() == 0.5
+
+    def test_real_delay_sleeps(self, dtlz2_2d, rng):
+        import time
+
+        timed = TimedProblem(dtlz2_2d, delay=Constant(0.02), real_delay=True)
+        start = time.perf_counter()
+        timed.evaluate(timed.random_solution(rng))
+        assert time.perf_counter() - start >= 0.015
+
+    def test_epsilons_forwarded(self, dtlz2_2d):
+        timed = TimedProblem(dtlz2_2d, delay=0.01)
+        assert np.array_equal(
+            timed.default_epsilons(), dtlz2_2d.default_epsilons()
+        )
+
+    def test_cv_controls_spread(self, dtlz2_2d):
+        tight = TimedProblem(dtlz2_2d, delay=0.01, cv=0.01, seed=0)
+        wide = TimedProblem(dtlz2_2d, delay=0.01, cv=0.3, seed=0)
+        t_samples = [tight.sample_evaluation_time() for _ in range(500)]
+        w_samples = [wide.sample_evaluation_time() for _ in range(500)]
+        assert np.std(w_samples) > np.std(t_samples) * 5
+
+
+class TestFunctionProblem:
+    def test_wraps_callable(self, rng):
+        fp = FunctionProblem(
+            lambda x: [x.sum(), (1 - x).sum()], nvars=3, nobjs=2
+        )
+        s = eval_at(fp, np.array([0.1, 0.2, 0.3]))
+        assert s.objectives == pytest.approx([0.6, 2.4])
+
+    def test_constraints_supported(self):
+        fp = FunctionProblem(
+            lambda x: [x.sum()],
+            nvars=2,
+            nobjs=1,
+            constraint_function=lambda x: [max(0.0, 0.5 - x[0])],
+            nconstraints=1,
+        )
+        s = eval_at(fp, np.array([0.1, 0.9]))
+        assert s.constraint_violation == pytest.approx(0.4)
+
+    def test_wrong_objective_count_raises(self):
+        fp = FunctionProblem(lambda x: [1.0, 2.0, 3.0], nvars=2, nobjs=2)
+        with pytest.raises(ValueError):
+            eval_at(fp, np.array([0.1, 0.2]))
+
+    def test_wrong_variable_count_raises(self, dtlz2_2d):
+        with pytest.raises(ValueError):
+            dtlz2_2d.evaluate(Solution(np.zeros(3)))
+
+    def test_random_solution_in_bounds(self, rng):
+        fp = FunctionProblem(
+            lambda x: [x.sum()], nvars=4, nobjs=1,
+            lower=[-2, -2, -2, -2], upper=[3, 3, 3, 3],
+        )
+        for _ in range(50):
+            s = fp.random_solution(rng)
+            assert np.all(s.variables >= -2) and np.all(s.variables <= 3)
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            FunctionProblem(lambda x: [0.0], nvars=2, nobjs=1,
+                            lower=[0, 0], upper=[0, 1])
+
+
+class TestSolution:
+    def test_copy_is_deep_with_new_uid(self):
+        s = Solution(np.array([1.0, 2.0]), objectives=np.array([3.0]))
+        c = s.copy()
+        c.variables[0] = 99.0
+        assert s.variables[0] == 1.0
+        assert c.uid != s.uid
+        assert np.array_equal(c.objectives, s.objectives)
+
+    def test_unevaluated_flags(self):
+        s = Solution(np.zeros(2))
+        assert not s.evaluated
+        assert s.constraint_violation == 0.0
+        assert s.feasible
+
+    def test_repr_smoke(self):
+        assert "unevaluated" in repr(Solution(np.zeros(2)))

@@ -1,0 +1,176 @@
+"""Unit tests for the CEC-2009 problems and the rotation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import Solution
+from repro.problems import DTLZ2, UF1, UF2, UF11, UF12, RotatedProblem
+from repro.problems.rotation import random_rotation, random_scaling
+
+
+def eval_at(problem, x):
+    s = Solution(np.asarray(x, dtype=float))
+    problem.evaluate(s)
+    return s.objectives
+
+
+class TestRotationMatrices:
+    def test_orthogonality(self):
+        R = random_rotation(10, seed=3)
+        assert np.allclose(R @ R.T, np.eye(10), atol=1e-12)
+
+    def test_determinant_plus_one(self):
+        for seed in range(5):
+            assert np.linalg.det(random_rotation(7, seed)) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(random_rotation(6, 42), random_rotation(6, 42))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_rotation(6, 1), random_rotation(6, 2))
+
+    def test_scaling_within_range(self):
+        s = random_scaling(20, low=0.5, high=1.0, seed=0)
+        assert np.all(s >= 0.5) and np.all(s <= 1.0)
+
+    def test_scaling_validation(self):
+        with pytest.raises(ValueError):
+            random_scaling(5, low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            random_rotation(0)
+
+
+class TestUF11:
+    def test_paper_dimensions(self):
+        p = UF11()
+        assert p.nvars == 30
+        assert p.nobjs == 5
+        assert p.name == "UF11"
+
+    def test_pareto_front_preserved(self):
+        """The substitution guarantee: x_dist = 0.5 still maps to the
+        unit-sphere front (the reference set stays analytic)."""
+        p = UF11()
+        x = np.full(30, 0.5)
+        x[:4] = [0.1, 0.4, 0.7, 0.9]
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) == pytest.approx(1.0)
+
+    def test_nonseparability(self):
+        """Changing ONE decision variable perturbs the inner problem
+        through MANY coordinates (the whole point of UF11)."""
+        p = UF11()
+        x = np.full(30, 0.5)
+        x2 = x.copy()
+        x2[10] += 0.2
+        z1 = p.transform(x)
+        z2 = p.transform(x2)
+        changed = np.flatnonzero(~np.isclose(z1, z2))
+        assert changed.size > 10
+
+    def test_position_variables_untouched(self):
+        p = UF11()
+        x = np.random.default_rng(0).random(30)
+        z = p.transform(x)
+        assert np.array_equal(z[:4], x[:4])
+
+    def test_transform_stays_in_bounds(self):
+        p = UF11()
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            z = p.transform(rng.random(30))
+            assert np.all(z >= 0.0) and np.all(z <= 1.0)
+
+    def test_harder_than_dtlz2_for_coordinate_moves(self):
+        """A coordinate step from the optimum changes g more slowly per
+        unit step on DTLZ2 than the rotated problem mixes coordinates --
+        sanity-check that UF11(x) != DTLZ2(x) in general."""
+        p = UF11()
+        inner = DTLZ2(nobjs=5, nvars=30)
+        x = np.random.default_rng(2).random(30)
+        assert not np.allclose(eval_at(p, x), eval_at(inner, x))
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(3).random(30)
+        assert np.allclose(eval_at(UF11(seed=7), x), eval_at(UF11(seed=7), x))
+        assert not np.allclose(eval_at(UF11(seed=7), x), eval_at(UF11(seed=8), x))
+
+    def test_epsilons_inherited_from_dtlz2(self):
+        assert np.allclose(UF11().default_epsilons(), 0.06)
+
+
+class TestUF12:
+    def test_dimensions(self):
+        p = UF12()
+        assert (p.nvars, p.nobjs) == (30, 5)
+
+    def test_front_preserved(self):
+        p = UF12()
+        x = np.full(30, 0.5)
+        f = eval_at(p, x)
+        assert np.linalg.norm(f) == pytest.approx(1.0)
+
+    def test_multimodal_off_optimum(self):
+        p = UF12()
+        x = np.full(30, 0.5)
+        x[20] = 0.8
+        assert np.linalg.norm(eval_at(p, x)) > 1.5
+
+
+class TestRotatedProblemValidation:
+    def test_invalid_position_count(self):
+        with pytest.raises(ValueError):
+            RotatedProblem(DTLZ2(nobjs=3, nvars=12), n_position=12)
+
+
+class TestUF1UF2:
+    def test_uf1_bounds(self):
+        p = UF1()
+        assert p.lower[0] == 0.0
+        assert p.lower[1] == -1.0
+        assert p.upper[0] == 1.0
+
+    def test_uf1_pareto_optimal_points(self):
+        """On UF1's optimal set x_j = sin(6 pi x1 + j pi / n), the front
+        is f2 = 1 - sqrt(f1)."""
+        p = UF1(nvars=10)
+        for x1 in (0.0, 0.25, 0.49, 0.81, 1.0):
+            x = np.empty(10)
+            x[0] = x1
+            j = np.arange(2, 11)
+            x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / 10)
+            f = eval_at(p, x)
+            assert f[0] == pytest.approx(x1, abs=1e-12)
+            assert f[1] == pytest.approx(1.0 - np.sqrt(x1), abs=1e-9)
+
+    def test_uf1_off_optimum_penalised(self):
+        p = UF1(nvars=10)
+        x = np.zeros(10)
+        x[0] = 0.5
+        f = eval_at(p, x)
+        assert f[0] > 0.5 or f[1] > 1.0 - np.sqrt(0.5)
+
+    def test_uf2_pareto_optimal_points(self):
+        """UF2's optimal set has a published closed form; check the
+        front is attained there."""
+        p = UF2(nvars=10)
+        n = 10
+        for x1 in (0.04, 0.36, 0.64):
+            x = np.empty(n)
+            x[0] = x1
+            j = np.arange(2, n + 1)
+            base = 0.3 * x1**2 * np.cos(24 * np.pi * x1 + 4 * j * np.pi / n) + 0.6 * x1
+            x[1:] = np.where(
+                j % 2 == 1,
+                base * np.cos(6.0 * np.pi * x1 + j * np.pi / n),
+                base * np.sin(6.0 * np.pi * x1 + j * np.pi / n),
+            )
+            f = eval_at(p, x)
+            assert f[0] == pytest.approx(x1, abs=1e-12)
+            assert f[1] == pytest.approx(1.0 - np.sqrt(x1), abs=1e-9)
+
+    def test_minimum_dimensions(self):
+        with pytest.raises(ValueError):
+            UF1(nvars=2)
+        with pytest.raises(ValueError):
+            UF2(nvars=2)

@@ -1,0 +1,193 @@
+"""Tests for CEC-2009 UF3-UF10: optimal-set attainment and structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import Solution
+from repro.problems import UF3, UF4, UF5, UF6, UF7, UF8, UF9, UF10
+
+
+def eval_at(problem, x):
+    s = Solution(np.asarray(x, dtype=float))
+    problem.evaluate(s)
+    return s.objectives
+
+
+class TestUF3:
+    def test_optimal_set_attains_front(self):
+        """UF3's optimum: x_j = x1^(0.5(1 + 3(j-2)/(n-2)))."""
+        n = 10
+        p = UF3(nvars=n)
+        for x1 in (0.09, 0.49, 0.81):
+            x = np.empty(n)
+            x[0] = x1
+            j = np.arange(2, n + 1)
+            x[1:] = x1 ** (0.5 * (1.0 + 3.0 * (j - 2.0) / (n - 2.0)))
+            f = eval_at(p, x)
+            assert f[0] == pytest.approx(x1, abs=1e-9)
+            assert f[1] == pytest.approx(1.0 - np.sqrt(x1), abs=1e-9)
+
+    def test_off_optimum_worse(self):
+        p = UF3(nvars=10)
+        x = np.full(10, 0.9)
+        x[0] = 0.25
+        f = eval_at(p, x)
+        assert f[0] > 0.25 + 0.01
+
+    def test_bounds_unit_box(self):
+        p = UF3()
+        assert np.all(p.lower == 0.0) and np.all(p.upper == 1.0)
+
+
+class TestUF4:
+    def test_optimal_set_attains_front(self):
+        n = 10
+        p = UF4(nvars=n)
+        for x1 in (0.2, 0.5, 0.9):
+            x = np.empty(n)
+            x[0] = x1
+            j = np.arange(2, n + 1)
+            x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+            f = eval_at(p, x)
+            assert f[0] == pytest.approx(x1, abs=1e-9)
+            assert f[1] == pytest.approx(1.0 - x1**2, abs=1e-9)
+
+    def test_h_bounded(self):
+        """UF4's h transform saturates, so objectives stay bounded."""
+        p = UF4(nvars=10)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = p.lower + rng.random(10) * (p.upper - p.lower)
+            f = eval_at(p, x)
+            assert np.all(f < 3.0)
+
+
+class TestUF5:
+    def test_front_points_at_grid(self):
+        """UF5's optimal objectives occur at x1 = i / (2N)."""
+        n = 10
+        p = UF5(nvars=n, N=10)
+        x1 = 0.5  # sin(2*N*pi*x1) = 0 at i/(2N)
+        x = np.empty(n)
+        x[0] = x1
+        j = np.arange(2, n + 1)
+        x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+        f = eval_at(p, x)
+        assert f[0] == pytest.approx(x1, abs=1e-9)
+        assert f[1] == pytest.approx(1.0 - x1, abs=1e-9)
+
+    def test_between_grid_penalised(self):
+        n = 10
+        p = UF5(nvars=n, N=10, eps=0.1)
+        x1 = 0.525  # mid-bump
+        x = np.empty(n)
+        x[0] = x1
+        j = np.arange(2, n + 1)
+        x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+        f = eval_at(p, x)
+        assert f[0] > x1 + 0.05
+
+
+class TestUF6:
+    def test_gap_gate_zero_in_valid_regions(self):
+        n = 10
+        p = UF6(nvars=n, N=2)
+        # sin(4 pi x1) <= 0 on [0.25, 0.5]: gate closed -> on-front.
+        x1 = 0.3
+        x = np.empty(n)
+        x[0] = x1
+        j = np.arange(2, n + 1)
+        x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+        f = eval_at(p, x)
+        assert f[0] == pytest.approx(x1, abs=1e-9)
+        assert f[1] == pytest.approx(1.0 - x1, abs=1e-9)
+
+    def test_gap_region_dominated(self):
+        n = 10
+        p = UF6(nvars=n, N=2)
+        x1 = 0.125  # sin(4 pi x1) = 1 -> in a gap
+        x = np.empty(n)
+        x[0] = x1
+        j = np.arange(2, n + 1)
+        x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+        f = eval_at(p, x)
+        assert f[0] + f[1] > 1.0 + 0.5  # pushed off the f1+f2=1 line
+
+
+class TestUF7:
+    def test_optimal_set_attains_linear_front(self):
+        n = 10
+        p = UF7(nvars=n)
+        for x1 in (0.1, 0.5, 0.9):
+            x = np.empty(n)
+            x[0] = x1
+            j = np.arange(2, n + 1)
+            x[1:] = np.sin(6.0 * np.pi * x1 + j * np.pi / n)
+            f = eval_at(p, x)
+            assert f[0] + f[1] == pytest.approx(1.0, abs=1e-9)
+
+
+class TestUF8Family:
+    @pytest.mark.parametrize("cls", [UF8, UF10])
+    def test_optimal_set_on_sphere(self, cls):
+        """Both share the optimal set x_j = 2 x2 sin(2 pi x1 + j pi/n)
+        and the spherical front."""
+        n = 10
+        p = cls(nvars=n)
+        for x1, x2 in ((0.2, 0.3), (0.7, 0.8)):
+            x = np.empty(n)
+            x[0], x[1] = x1, x2
+            j = np.arange(3, n + 1)
+            x[2:] = 2.0 * x2 * np.sin(2.0 * np.pi * x1 + j * np.pi / n)
+            f = eval_at(p, x)
+            assert np.sum(f**2) == pytest.approx(1.0, abs=1e-9)
+
+    def test_uf10_multimodal_off_optimum(self):
+        n = 10
+        uf8 = UF8(nvars=n)
+        uf10 = UF10(nvars=n)
+        x = np.full(n, 0.25)
+        # Same point: UF10's Rastrigin h dominates UF8's quadratic.
+        assert eval_at(uf10, x).sum() > eval_at(uf8, x).sum()
+
+    def test_uf9_planar_front(self):
+        n = 10
+        p = UF9(nvars=n)
+        # On the optimal set with x1 in the outer region the gate is 0.
+        x1, x2 = 0.05, 0.6
+        x = np.empty(n)
+        x[0], x[1] = x1, x2
+        j = np.arange(3, n + 1)
+        x[2:] = 2.0 * x2 * np.sin(2.0 * np.pi * x1 + j * np.pi / n)
+        f = eval_at(p, x)
+        assert f[2] == pytest.approx(1.0 - x2, abs=1e-9)
+        assert f[0] + f[1] == pytest.approx(x2, abs=0.15)
+
+    def test_dimension_validation(self):
+        for cls in (UF3, UF4, UF5, UF6, UF7):
+            with pytest.raises(ValueError):
+                cls(nvars=2)
+        for cls in (UF8, UF9, UF10):
+            with pytest.raises(ValueError):
+                cls(nvars=4)
+
+    def test_objective_counts(self):
+        assert UF7().nobjs == 2
+        assert UF8().nobjs == 3
+        assert UF9().nobjs == 3
+        assert UF10().nobjs == 3
+
+
+class TestBorgSolvesExtendedUF:
+    def test_borg_converges_on_uf7(self):
+        """End to end: Borg approaches UF7's linear front."""
+        from repro.core import BorgConfig, BorgMOEA
+
+        result = BorgMOEA(
+            UF7(nvars=10),
+            BorgConfig(initial_population_size=50, epsilons=[0.01, 0.01]),
+            seed=5,
+        ).run(5_000)
+        F = result.objectives
+        best_sum = np.min(F.sum(axis=1))
+        assert best_sum < 1.25

@@ -1,0 +1,279 @@
+"""Tests for the WFG toolkit (transformations, shapes, problems, UF13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Solution
+from repro.problems import (
+    UF13,
+    WFG1,
+    WFG2,
+    WFG3,
+    WFG4,
+    WFG5,
+    WFG6,
+    WFG7,
+    WFG8,
+    WFG9,
+)
+from repro.problems.wfg import (
+    b_flat,
+    b_param,
+    b_poly,
+    r_nonsep,
+    r_sum,
+    s_decept,
+    s_linear,
+    s_multi,
+    shape_concave,
+    shape_convex,
+    shape_linear,
+)
+
+ALL_WFG = (WFG1, WFG2, WFG3, WFG4, WFG5, WFG6, WFG7, WFG8, WFG9)
+CONCAVE_WFG = (WFG4, WFG5, WFG6, WFG7, WFG8, WFG9)
+
+
+def eval_at(problem, z):
+    s = Solution(np.asarray(z, dtype=float))
+    problem.evaluate(s)
+    return s.objectives
+
+
+class TestTransformations:
+    def test_b_poly_identity_at_alpha_one(self):
+        y = np.linspace(0, 1, 7)
+        assert np.allclose(b_poly(y, 1.0), y)
+
+    def test_b_poly_bias_direction(self):
+        # alpha < 1 inflates small values.
+        assert b_poly(np.array([0.25]), 0.02)[0] > 0.9
+
+    def test_b_flat_constant_in_region(self):
+        y = np.array([0.76, 0.80, 0.84])
+        assert np.allclose(b_flat(y, 0.8, 0.75, 0.85), 0.8)
+
+    def test_b_flat_endpoints(self):
+        assert b_flat(np.array([0.0]), 0.8, 0.75, 0.85)[0] == pytest.approx(0.0)
+        assert b_flat(np.array([1.0]), 0.8, 0.75, 0.85)[0] == pytest.approx(1.0)
+
+    def test_b_param_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            y = rng.random()
+            u = rng.random()
+            v = b_param(np.array([y]), u, 0.98 / 49.98, 0.02, 50.0)[0]
+            assert 0.0 <= v <= 1.0
+
+    def test_s_linear_zero_at_optimum(self):
+        assert s_linear(np.array([0.35]), 0.35)[0] == pytest.approx(0.0)
+        assert s_linear(np.array([1.0]), 0.35)[0] == pytest.approx(1.0)
+
+    def test_s_decept_zero_at_global_optimum(self):
+        assert s_decept(np.array([0.35]), 0.35, 0.001, 0.05)[0] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_s_decept_deceptive_valleys_nonzero(self):
+        # The deceptive minima at 0 and 1 have value near (but not) 0.
+        v0 = s_decept(np.array([0.0]), 0.35, 0.001, 0.05)[0]
+        assert 0.0 < v0 <= 0.1
+
+    def test_s_multi_zero_at_global_optimum(self):
+        assert s_multi(np.array([0.35]), 30.0, 10.0, 0.35)[0] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_r_sum_weighted_mean(self):
+        assert r_sum(np.array([0.0, 1.0]), np.array([1.0, 3.0])) == pytest.approx(
+            0.75
+        )
+
+    def test_r_nonsep_degree_one_is_mean(self):
+        y = np.array([0.2, 0.4, 0.9])
+        assert r_nonsep(y, 1) == pytest.approx(y.mean())
+
+    def test_r_nonsep_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            y = rng.random(6)
+            assert 0.0 <= r_nonsep(y, 6) <= 1.0 + 1e-12
+
+
+class TestShapes:
+    def test_linear_shapes_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(3)
+        total = sum(shape_linear(x, m, 4) for m in range(1, 5))
+        assert total == pytest.approx(1.0)
+
+    def test_concave_shapes_on_unit_sphere(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(3)
+        sq = sum(shape_concave(x, m, 4) ** 2 for m in range(1, 5))
+        assert sq == pytest.approx(1.0)
+
+    def test_convex_shapes_in_unit_box(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            x = rng.random(2)
+            for m in range(1, 4):
+                assert 0.0 <= shape_convex(x, m, 3) <= 1.0
+
+
+class TestWFGProblems:
+    @pytest.mark.parametrize("cls", ALL_WFG)
+    def test_bounds_are_2i(self, cls):
+        p = cls(nobjs=3)
+        assert np.allclose(p.upper, 2.0 * np.arange(1, p.nvars + 1))
+        assert np.all(p.lower == 0.0)
+
+    @pytest.mark.parametrize("cls", ALL_WFG)
+    def test_objectives_finite_and_bounded(self, cls):
+        p = cls(nobjs=3)
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            z = p.lower + rng.random(p.nvars) * (p.upper - p.lower)
+            f = eval_at(p, z)
+            assert np.all(np.isfinite(f))
+            # f_m <= x_M + S_m since shapes are in [0, 1].
+            assert np.all(f <= 1.0 + 2.0 * np.arange(1, 4) + 1e-9)
+            assert np.all(f >= -1e-9)
+
+    @pytest.mark.parametrize("cls", CONCAVE_WFG)
+    def test_optimum_on_concave_front(self, cls):
+        """At the problem's optimal solution the scaled objectives lie
+        exactly on the unit sphere: sum (f_m / 2m)^2 = 1."""
+        p = cls(nobjs=3)
+        rng = np.random.default_rng(6)
+        S = 2.0 * np.arange(1, 4)
+        for _ in range(5):
+            z = p.optimal_solution(rng.random(p.k))
+            f = eval_at(p, z)
+            assert np.sum((f / S) ** 2) == pytest.approx(1.0, abs=1e-9)
+
+    def test_wfg3_degenerate_linear_front(self):
+        p = WFG3(nobjs=3)
+        rng = np.random.default_rng(7)
+        S = 2.0 * np.arange(1, 4)
+        for _ in range(5):
+            f = eval_at(p, p.optimal_solution(rng.random(p.k)))
+            assert np.sum(f / S) == pytest.approx(1.0, abs=1e-9)
+
+    def test_wfg1_optimum_beats_perturbed(self):
+        p = WFG1(nobjs=3)
+        z_opt = p.optimal_solution(np.full(p.k, 0.5))
+        f_opt = eval_at(p, z_opt)
+        z_bad = z_opt.copy()
+        z_bad[-1] = 0.9 * p.upper[-1]
+        f_bad = eval_at(p, z_bad)
+        # The perturbed point must not dominate the optimum.
+        assert not (np.all(f_bad <= f_opt) and np.any(f_bad < f_opt))
+
+    def test_off_optimum_dominated_on_wfg4(self):
+        p = WFG4(nobjs=3)
+        z = p.optimal_solution(np.full(p.k, 0.5))
+        f_opt = eval_at(p, z)
+        z2 = z.copy()
+        z2[p.k] = 0.6 * p.upper[p.k]
+        f_off = eval_at(p, z2)
+        S = 2.0 * np.arange(1, 4)
+        assert np.sum((f_off / S) ** 2) > 1.0
+
+    def test_k_must_divide(self):
+        with pytest.raises(ValueError):
+            WFG4(nobjs=4, k=5)
+
+    def test_even_l_enforced_where_needed(self):
+        with pytest.raises(ValueError):
+            WFG2(nobjs=3, l=7)
+        WFG4(nobjs=3, l=7)  # others accept odd l
+
+    def test_epsilons_scale_with_objectives(self):
+        assert WFG4(nobjs=5).default_epsilons()[0] > WFG4(
+            nobjs=2
+        ).default_epsilons()[0]
+
+
+class TestUF13:
+    def test_competition_dimensions(self):
+        p = UF13()
+        assert p.nvars == 30
+        assert p.nobjs == 5
+        assert p.k == 8 and p.l == 22
+        assert p.name == "UF13"
+
+    def test_borg_makes_progress_on_uf13(self):
+        from repro.core import BorgConfig, BorgMOEA
+
+        p = UF13()
+        rng = np.random.default_rng(8)
+        random_f = np.array(
+            [eval_at(UF13(), p.lower + rng.random(30) * (p.upper - p.lower))
+             for _ in range(50)]
+        )
+        result = BorgMOEA(
+            UF13(), BorgConfig(initial_population_size=64), seed=1
+        ).run(3_000)
+        # Dominated-volume proxy: mean scaled objective sum improves.
+        S = 2.0 * np.arange(1, 6)
+        random_score = (random_f / S).sum(axis=1).min()
+        borg_score = (result.objectives / S).sum(axis=1).min()
+        assert borg_score < random_score
+
+
+class TestWFGIndicatorSupport:
+    def test_scaled_sphere_reference_set_on_front(self):
+        import numpy as np
+        from repro.indicators import reference_set_for
+        from repro.problems import WFG4
+
+        p = WFG4(nobjs=3)
+        rs = reference_set_for(p, divisions=8)
+        S = 2.0 * np.arange(1, 4)
+        assert np.allclose(((rs / S) ** 2).sum(axis=1), 1.0)
+
+    def test_wfg3_reference_set_on_plane(self):
+        import numpy as np
+        from repro.indicators import reference_set_for
+        from repro.problems import WFG3
+
+        p = WFG3(nobjs=3)
+        rs = reference_set_for(p, divisions=8)
+        S = 2.0 * np.arange(1, 4)
+        assert np.allclose((rs / S).sum(axis=1), 1.0)
+
+    def test_normalized_hypervolume_near_one_on_refset(self):
+        from repro.indicators import NormalizedHypervolume, reference_set_for
+        from repro.problems import WFG4
+
+        p = WFG4(nobjs=3)
+        metric = NormalizedHypervolume(p, method="monte-carlo", samples=50_000)
+        value = metric(reference_set_for(p, divisions=15))
+        assert 0.85 < value <= 1.0
+
+    def test_wfg_ideal_scales_by_product_of_2m(self):
+        import numpy as np
+        import pytest as _pytest
+        from repro.indicators import (
+            ideal_hypervolume_for,
+            sphere_ideal_hypervolume,
+        )
+        from repro.problems import WFG5
+
+        p = WFG5(nobjs=3)
+        assert ideal_hypervolume_for(p) == _pytest.approx(
+            (2.0 * 4.0 * 6.0) * sphere_ideal_hypervolume(3)
+        )
+
+    def test_reference_point_vector(self):
+        import numpy as np
+        from repro.indicators import reference_point_for
+        from repro.problems import WFG6, DTLZ2
+
+        assert np.allclose(
+            reference_point_for(WFG6(nobjs=3)), 1.1 * np.array([2.0, 4.0, 6.0])
+        )
+        assert np.allclose(
+            reference_point_for(DTLZ2(nobjs=3, nvars=12)), 1.1
+        )

@@ -1,0 +1,111 @@
+"""Tests for the machine-repairman queueing model (contention-aware
+closed form, an extension beyond the paper's two models)."""
+
+import pytest
+
+from repro.models import (
+    AnalyticalModel,
+    QueueingModel,
+    simulate_async,
+    solve_repairman,
+)
+from repro.stats import constant_timing, ranger_timing
+
+
+class TestRepairmanRecursion:
+    def test_single_worker_no_queueing(self):
+        sol = solve_repairman(1, think=1.0, service=0.1)
+        # One worker can never queue behind itself.
+        assert sol.residence == pytest.approx(0.1)
+        assert sol.throughput == pytest.approx(1.0 / 1.1)
+        assert sol.mean_queue_wait == 0.0
+
+    def test_light_load_matches_independent_cycles(self):
+        sol = solve_repairman(4, think=10.0, service=0.01)
+        assert sol.throughput == pytest.approx(4.0 / 10.01, rel=0.01)
+        assert sol.utilization < 0.01
+
+    def test_heavy_load_saturates_at_service_rate(self):
+        sol = solve_repairman(500, think=0.001, service=0.01)
+        assert sol.throughput == pytest.approx(100.0, rel=0.01)
+        assert sol.utilization == pytest.approx(1.0, abs=0.01)
+
+    def test_throughput_monotone_in_workers(self):
+        xs = [
+            solve_repairman(n, think=1.0, service=0.05).throughput
+            for n in (1, 4, 16, 64, 256)
+        ]
+        assert xs == sorted(xs)
+        assert xs[-1] <= 1.0 / 0.05 + 1e-9
+
+    def test_zero_service_never_contends(self):
+        sol = solve_repairman(10, think=2.0, service=0.0)
+        assert sol.utilization == 0.0
+        assert sol.throughput == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_repairman(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_repairman(5, -1.0, 1.0)
+
+
+class TestQueueingModelVsSimulation:
+    @pytest.mark.parametrize("processors", [16, 64, 256, 1024])
+    def test_matches_simulation_across_regimes(self, processors):
+        """The headline property: accurate both below AND above the
+        Eq. 3 saturation bound, where Eq. 2 fails."""
+        timing = ranger_timing("DTLZ2", processors, 0.001)
+        qm = QueueingModel.from_timing(timing)
+        sim = simulate_async(processors, 4000, timing, seed=1)
+        predicted = qm.parallel_time(4000, processors)
+        assert predicted == pytest.approx(sim.elapsed, rel=0.06)
+
+    def test_beats_eq2_in_saturation(self):
+        timing = constant_timing(tf=0.001, tc=6e-6, ta=29e-6)
+        qm = QueueingModel.from_timing(timing)
+        am = AnalyticalModel.from_timing(timing)
+        sim = simulate_async(512, 4000, timing, seed=2)
+        err_q = abs(qm.parallel_time(4000, 512) - sim.elapsed) / sim.elapsed
+        err_a = abs(am.parallel_time(4000, 512) - sim.elapsed) / sim.elapsed
+        assert err_q < 0.05
+        assert err_a > 0.5
+
+    def test_agrees_with_eq2_at_light_load(self):
+        timing = constant_timing(tf=0.1, tc=6e-6, ta=29e-6)
+        qm = QueueingModel.from_timing(timing)
+        am = AnalyticalModel.from_timing(timing)
+        assert qm.parallel_time(10_000, 16) == pytest.approx(
+            am.parallel_time(10_000, 16), rel=0.01
+        )
+
+    def test_utilization_tracks_simulation(self):
+        timing = ranger_timing("DTLZ2", 64, 0.01)
+        qm = QueueingModel.from_timing(timing)
+        sim = simulate_async(64, 4000, timing, seed=3)
+        assert qm.master_utilization(64) == pytest.approx(
+            sim.master_utilization, abs=0.05
+        )
+
+
+class TestQueueingModelShape:
+    def test_efficiency_peaks_at_intermediate_p(self):
+        qm = QueueingModel(tf=0.01, tc=6e-6, ta=29e-6)
+        effs = {p: qm.efficiency(50_000, p) for p in (4, 64, 1024)}
+        assert effs[64] > effs[4] * 0.9
+        assert effs[64] > effs[1024]
+
+    def test_saturation_processors_near_eq3_bound(self):
+        """The MVA saturation point lands the same order of magnitude
+        as Eq. 3 (it differs because saturation is gradual)."""
+        qm = QueueingModel(tf=0.01, tc=6e-6, ta=29e-6)
+        p_sat = qm.saturation_processors()
+        assert 100 < p_sat < 600  # Eq. 3 gives 244
+
+    def test_queue_wait_grows_with_processors(self):
+        qm = QueueingModel(tf=0.001, tc=6e-6, ta=29e-6)
+        assert qm.mean_queue_wait(512) > qm.mean_queue_wait(16)
+
+    def test_processor_validation(self):
+        with pytest.raises(ValueError):
+            QueueingModel(0.01, 6e-6, 29e-6).parallel_time(100, 1)

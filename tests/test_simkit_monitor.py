@@ -1,0 +1,130 @@
+"""Unit tests for simkit measurement monitors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simkit import SeriesMonitor, SpanTracker, TallyMonitor
+
+
+class TestTallyMonitor:
+    def test_empty_monitor(self):
+        m = TallyMonitor()
+        assert m.count == 0
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+
+    def test_mean_matches_numpy(self):
+        data = [1.5, 2.5, 3.0, 10.0, -1.0]
+        m = TallyMonitor()
+        for v in data:
+            m.record(v)
+        assert m.mean == pytest.approx(np.mean(data))
+
+    def test_variance_matches_numpy_ddof1(self):
+        data = [0.1, 0.9, 0.4, 0.7, 0.2, 0.6]
+        m = TallyMonitor()
+        for v in data:
+            m.record(v)
+        assert m.variance == pytest.approx(np.var(data, ddof=1))
+
+    def test_min_max(self):
+        m = TallyMonitor()
+        for v in (3.0, -2.0, 7.0):
+            m.record(v)
+        assert m.minimum == -2.0
+        assert m.maximum == 7.0
+
+    def test_cv(self):
+        m = TallyMonitor()
+        for v in (10.0, 10.0, 10.0):
+            m.record(v)
+        assert m.cv == 0.0
+
+    def test_keep_stores_observations(self):
+        m = TallyMonitor(keep=True)
+        m.record(1.0)
+        m.record(2.0)
+        assert m.observations == [1.0, 2.0]
+
+    def test_single_observation_variance_zero(self):
+        m = TallyMonitor()
+        m.record(5.0)
+        assert m.variance == 0.0
+
+    def test_numerical_stability_large_offset(self):
+        # Welford should survive a huge common offset.
+        base = 1e12
+        data = [base + d for d in (0.0, 1.0, 2.0)]
+        m = TallyMonitor()
+        for v in data:
+            m.record(v)
+        assert m.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSeriesMonitor:
+    def test_time_average_constant(self):
+        s = SeriesMonitor()
+        s.record(0.0, 5.0)
+        assert s.time_average(until=10.0) == pytest.approx(5.0)
+
+    def test_time_average_step(self):
+        s = SeriesMonitor()
+        s.record(0.0, 0.0)
+        s.record(5.0, 10.0)
+        assert s.time_average(until=10.0) == pytest.approx(5.0)
+
+    def test_non_monotone_rejected(self):
+        s = SeriesMonitor()
+        s.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(4.0, 2.0)
+
+    def test_last(self):
+        s = SeriesMonitor()
+        assert s.last == 0.0
+        s.record(0.0, 3.0)
+        s.record(1.0, 7.0)
+        assert s.last == 7.0
+
+    def test_empty_average(self):
+        assert SeriesMonitor().time_average() == 0.0
+
+
+class TestSpanTracker:
+    def test_basic_spans(self):
+        t = SpanTracker()
+        t.begin(0.0, "tf")
+        t.end(2.0)
+        t.begin(3.0, "tf")
+        t.end(5.0)
+        assert t.total("tf") == pytest.approx(4.0)
+        assert t.busy_total() == pytest.approx(4.0)
+        assert t.idle_total(horizon=10.0) == pytest.approx(6.0)
+
+    def test_double_begin_raises(self):
+        t = SpanTracker()
+        t.begin(0.0, "tf")
+        with pytest.raises(RuntimeError):
+            t.begin(1.0, "tc")
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            SpanTracker().end(1.0)
+
+    def test_backwards_span_raises(self):
+        t = SpanTracker()
+        t.begin(5.0, "tf")
+        with pytest.raises(ValueError):
+            t.end(4.0)
+
+    def test_total_by_label(self):
+        t = SpanTracker()
+        t.begin(0.0, "tc")
+        t.end(1.0)
+        t.begin(1.0, "ta")
+        t.end(4.0)
+        assert t.total("tc") == pytest.approx(1.0)
+        assert t.total("ta") == pytest.approx(3.0)
+        assert t.total("tf") == 0.0
