@@ -1,0 +1,159 @@
+"""Benchmark: the vectorized hot paths vs their scalar references.
+
+Times the three fast paths the evaluation/indicator vectorization
+introduced -- batched problem evaluation, the block-broadcast
+``nondominated_mask``, and the cached hypervolume engine on a
+Fig. 5-style trajectory -- against the scalar reference implementations
+(the code paths ``REPRO_FASTPATH=0`` restores), asserts the speedup
+floors, and records the measurements in ``BENCH_hotpaths.json`` at the
+repository root so regressions are visible in CI artifacts.
+
+Quick mode (CI smoke): ``BENCH_HOTPATHS_QUICK=1`` shrinks the workloads
+so the whole module runs in a few seconds.
+
+    BENCH_HOTPATHS_QUICK=1 pytest benchmarks/test_bench_hotpaths.py -q
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import fastpath
+from repro.core import BorgConfig, BorgMOEA
+from repro.core.dominance import _nondominated_mask_reference, nondominated_mask
+from repro.indicators import Hypervolume, hypervolume_trajectory
+from repro.problems import DTLZ2, UF11
+
+QUICK = os.environ.get("BENCH_HOTPATHS_QUICK", "0") not in ("0", "", "false")
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+#: Acceptance floors from the issue; measured headroom is much larger.
+MIN_BATCH_SPEEDUP = 5.0
+MIN_MASK_SPEEDUP = 3.0
+MIN_TRAJECTORY_SPEEDUP = 2.0
+
+
+def _best_of(fn, repeats=3):
+    """Best-of-N wall time (seconds) of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _record(name: str, payload: dict) -> None:
+    """Merge one measurement into BENCH_hotpaths.json (partial runs of
+    the module keep the other entries intact)."""
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    data[name] = payload
+    data["_meta"] = {"quick": QUICK}
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _batch_eval_case(problem, n):
+    rng = np.random.default_rng(20130520)
+    X = problem.lower + rng.random((n, problem.nvars)) * (
+        problem.upper - problem.lower
+    )
+    t_batch = _best_of(lambda: problem._evaluate_batch(X))
+    t_scalar = _best_of(
+        lambda: problem._evaluate_batch_fallback(X),
+        repeats=1 if QUICK else 2,
+    )
+    F_fast, _ = problem._evaluate_batch(X)
+    F_slow, _ = problem._evaluate_batch_fallback(X)
+    np.testing.assert_array_equal(F_fast, F_slow)
+    return {
+        "points": n,
+        "batch_seconds": t_batch,
+        "scalar_seconds": t_scalar,
+        "speedup": t_scalar / t_batch,
+    }
+
+
+def test_bench_batch_eval_dtlz2():
+    n = 2_000 if QUICK else 10_000
+    payload = _batch_eval_case(DTLZ2(nobjs=5), n)
+    _record("batch_eval_dtlz2_m5", payload)
+    print(f"\nDTLZ2 batch eval of {n} points: {payload['speedup']:.1f}x")
+    assert payload["speedup"] >= MIN_BATCH_SPEEDUP
+
+
+def test_bench_batch_eval_uf11():
+    n = 2_000 if QUICK else 10_000
+    payload = _batch_eval_case(UF11(), n)
+    _record("batch_eval_uf11_m5", payload)
+    print(f"\nUF11 batch eval of {n} points: {payload['speedup']:.1f}x")
+    assert payload["speedup"] >= MIN_BATCH_SPEEDUP
+
+
+def test_bench_nondominated_mask():
+    n, m = (800, 5) if QUICK else (2_000, 5)
+    F = np.random.default_rng(7).random((n, m))
+    t_fast = _best_of(lambda: nondominated_mask(F))
+    t_ref = _best_of(lambda: _nondominated_mask_reference(F))
+    np.testing.assert_array_equal(
+        nondominated_mask(F), _nondominated_mask_reference(F)
+    )
+    payload = {
+        "n": n,
+        "m": m,
+        "fast_seconds": t_fast,
+        "reference_seconds": t_ref,
+        "speedup": t_ref / t_fast,
+    }
+    _record("nondominated_mask", payload)
+    print(f"\nnondominated_mask n={n} m={m}: {payload['speedup']:.1f}x")
+    assert payload["speedup"] >= MIN_MASK_SPEEDUP
+
+
+def test_bench_hypervolume_trajectory():
+    """Fig. 5-style workload: hypervolume along every archive snapshot
+    of a seeded serial Borg run -- cached engine vs seed recursion."""
+    nfe = 1_500 if QUICK else 4_000
+    result = BorgMOEA(
+        DTLZ2(nobjs=3),
+        BorgConfig(initial_population_size=50, snapshot_interval=25),
+        seed=13,
+    ).run(max_nfe=nfe)
+    history = result.history
+
+    def fast_pass():
+        metric = Hypervolume(2.0, method="exact")
+        return hypervolume_trajectory(history, metric, use_nfe=True)
+
+    def reference_pass():
+        with fastpath.disabled():
+            metric = Hypervolume(2.0, method="exact")
+            return hypervolume_trajectory(history, metric, use_nfe=True)
+
+    t_fast = _best_of(fast_pass)
+    t_ref = _best_of(reference_pass, repeats=1 if QUICK else 2)
+    _, v_fast = fast_pass()
+    _, v_ref = reference_pass()
+    np.testing.assert_allclose(v_fast, v_ref, rtol=1e-9)
+    payload = {
+        "snapshots": len(history.snapshots),
+        "max_nfe": nfe,
+        "engine_seconds": t_fast,
+        "reference_seconds": t_ref,
+        "speedup": t_ref / t_fast,
+    }
+    _record("hypervolume_trajectory", payload)
+    print(
+        f"\nHV trajectory over {payload['snapshots']} snapshots: "
+        f"{payload['speedup']:.1f}x"
+    )
+    assert payload["speedup"] >= MIN_TRAJECTORY_SPEEDUP

@@ -30,10 +30,9 @@ def main() -> None:
     problem = AircraftDesign()
     print(f"Problem: {problem}")
     rng = np.random.default_rng(0)
-    feasible = sum(
-        problem.evaluate(problem.random_solution(rng)).feasible
-        for _ in range(500)
-    )
+    probe = problem.random_solutions(rng, 500)
+    problem.evaluate_solutions(probe)
+    feasible = sum(s.feasible for s in probe)
     print(f"Random sampling feasibility: {feasible}/500 designs "
           f"(the requirements bite)\n")
 

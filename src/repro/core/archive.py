@@ -6,10 +6,14 @@ through its *epsilon-progress* counter, and supplies the per-operator
 contribution counts that drive auto-adaptive operator selection.
 
 Implementation note: box indices and objective vectors for all archive
-members are mirrored in growing NumPy matrices so that each ``add`` is a
+members are mirrored in NumPy matrices so that each ``add`` is a
 handful of vectorised comparisons rather than a Python loop over
 members (the archive is consulted once per function evaluation, so this
-is the serial hot path).
+is the serial hot path).  The matrices live in amortized doubling
+buffers -- ``_boxes``/``_objectives`` are views of the filled prefix --
+so an ``add`` appends in O(1) amortized instead of re-copying the whole
+archive per accepted solution, and membership tests run against a uid
+set in O(1).
 """
 
 from __future__ import annotations
@@ -65,8 +69,10 @@ class EpsilonBoxArchive:
             raise ValueError(f"epsilons must be positive, got {eps}")
         self._epsilons = eps
         self.solutions: list[Solution] = []
-        self._boxes = np.empty((0, 0))
-        self._objectives = np.empty((0, 0))
+        self._box_buffer = np.empty((0, 0))
+        self._objective_buffer = np.empty((0, 0))
+        self._size = 0
+        self._uids: set = set()
         #: Cumulative count of epsilon-progress improvements.
         self.improvements = 0
         #: Archive membership per producing-operator tag.
@@ -81,7 +87,17 @@ class EpsilonBoxArchive:
         return iter(self.solutions)
 
     def __contains__(self, solution: Solution) -> bool:
-        return any(s.uid == solution.uid for s in self.solutions)
+        return solution.uid in self._uids
+
+    @property
+    def _boxes(self) -> np.ndarray:
+        """Box-index matrix (view of the filled buffer prefix)."""
+        return self._box_buffer[: self._size]
+
+    @property
+    def _objectives(self) -> np.ndarray:
+        """Objective matrix (view of the filled buffer prefix)."""
+        return self._objective_buffer[: self._size]
 
     @property
     def epsilons(self) -> np.ndarray:
@@ -191,18 +207,31 @@ class EpsilonBoxArchive:
     # -- storage helpers ---------------------------------------------------
     def _reset(self, m: int) -> None:
         self.solutions = []
-        self._boxes = np.empty((0, m))
-        self._objectives = np.empty((0, m))
+        if self._box_buffer.shape[1] != m:
+            self._box_buffer = np.empty((16, m))
+            self._objective_buffer = np.empty((16, m))
+        self._size = 0
+        self._uids.clear()
         self.operator_counts = Counter()
+
+    def _grow(self, m: int) -> None:
+        capacity = max(16, 2 * self._box_buffer.shape[0])
+        for name in ("_box_buffer", "_objective_buffer"):
+            old = getattr(self, name)
+            buf = np.empty((capacity, m))
+            buf[: self._size] = old[: self._size]
+            setattr(self, name, buf)
 
     def _append(self, solution: Solution) -> None:
         eps = self._epsilons
         box = epsilon_boxes(solution.objectives, eps)
+        if self._size == self._box_buffer.shape[0]:
+            self._grow(box.size)
         self.solutions.append(solution)
-        self._boxes = np.vstack([self._boxes, box[None, :]])
-        self._objectives = np.vstack(
-            [self._objectives, solution.objectives[None, :]]
-        )
+        self._box_buffer[self._size] = box
+        self._objective_buffer[self._size] = solution.objectives
+        self._size += 1
+        self._uids.add(solution.uid)
         self.operator_counts[solution.operator] += 1
 
     def _remove_indices(self, indices: list[int]) -> None:
@@ -210,9 +239,13 @@ class EpsilonBoxArchive:
         keep[indices] = False
         for i in indices:
             self.operator_counts[self.solutions[i].operator] -= 1
+            self._uids.discard(self.solutions[i].uid)
         self.solutions = [s for s, k in zip(self.solutions, keep) if k]
-        self._boxes = self._boxes[keep]
-        self._objectives = self._objectives[keep]
+        kept = int(np.count_nonzero(keep))
+        # Compact the survivors into the buffer prefix in place.
+        self._box_buffer[:kept] = self._box_buffer[: self._size][keep]
+        self._objective_buffer[:kept] = self._objective_buffer[: self._size][keep]
+        self._size = kept
 
     # -- queries ------------------------------------------------------------
     def sample(self, rng: np.random.Generator) -> Solution:

@@ -325,6 +325,28 @@ class BorgMOEA:
             snapshot_interval=self.config.snapshot_interval
         )
         engine = self.engine
+        # Batch the initial random population through one vectorized
+        # evaluate_batch call.  During initialisation next_candidate's
+        # draws do not depend on ingest state and no restart/adaptation
+        # can fire before the population fills, so issuing all initial
+        # candidates first is trajectory-identical to the serial
+        # generate-evaluate-ingest loop.
+        if engine.nfe == 0 and engine.issued == 0:
+            init = [
+                engine.next_candidate()
+                for _ in range(
+                    min(self.config.initial_population_size, max_nfe)
+                )
+            ]
+            self.problem.evaluate_solutions(init)
+            for candidate in init:
+                engine.ingest(candidate)
+                hist.maybe_record(
+                    engine.nfe,
+                    float("nan"),
+                    engine.archive._objectives,
+                    engine.restarts,
+                )
         while engine.nfe < max_nfe:
             self.step()
             hist.maybe_record(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import fastpath
 from .solution import Solution
 
 __all__ = [
@@ -85,13 +86,9 @@ def epsilon_box_compare(
     return 0
 
 
-def nondominated_mask(objectives: np.ndarray) -> np.ndarray:
-    """Boolean mask of Pareto-nondominated rows of an ``(n, m)`` matrix.
-
-    O(n^2) with vectorised inner comparisons; fine for the archive and
-    reference-set sizes this project handles (up to a few thousand).
-    """
-    F = np.asarray(objectives, dtype=float)
+def _nondominated_mask_reference(F: np.ndarray) -> np.ndarray:
+    """Row-at-a-time O(n^2) reference used to validate the fast paths
+    (and as the ``REPRO_FASTPATH=0`` implementation)."""
     n = F.shape[0]
     mask = np.ones(n, dtype=bool)
     for i in range(n):
@@ -113,6 +110,80 @@ def nondominated_mask(objectives: np.ndarray) -> np.ndarray:
         mask[dominated] = False
         mask[i] = True
     return mask
+
+
+def _nondominated_mask_2d(F: np.ndarray) -> np.ndarray:
+    """Sort-based sweep for two objectives, O(n log n).
+
+    ``np.unique`` sorts the distinct rows lexicographically; scanning
+    them in that order, a row is dominated iff some earlier distinct row
+    has f2 <= its f2 (earlier means f1 strictly smaller, or f1 equal and
+    f2 strictly smaller -- either way at least one strict coordinate).
+    Duplicate rows never dominate each other, so they share the fate of
+    their distinct representative via the inverse map.
+    """
+    U, inverse = np.unique(F, axis=0, return_inverse=True)
+    f2 = U[:, 1]
+    best_before = np.empty_like(f2)
+    best_before[0] = np.inf
+    np.minimum.accumulate(f2[:-1], out=best_before[1:])
+    return (best_before > f2)[inverse.ravel()]
+
+
+def _nondominated_mask_blocked(F: np.ndarray, block: int = 64) -> np.ndarray:
+    """Block-wise broadcast filter, O(n^2 / block) numpy calls.
+
+    Rows are processed in ascending objective-sum order: pairwise sums
+    are monotone under weak domination, so every candidate dominator of
+    a block row lies at or before the end of that block.  Each block is
+    compared in one broadcast against the candidate set -- the rows of
+    the already-pruned prefix that survived, plus the block itself
+    (self-pairs are harmless: ``lt`` is false on identical rows).  The
+    ``le``/``lt`` planes accumulate objective by objective, avoiding
+    (cand, block, m) 3-D temporaries.  Pruning the prefix is exact: any
+    dominated row keeps at least one globally nondominated dominator
+    (transitivity), and such dominators are never killed.
+    """
+    n, m = F.shape
+    order = np.argsort(F.sum(axis=1), kind="stable")
+    S = np.ascontiguousarray(F[order])
+    alive = np.ones(n, dtype=bool)
+    cols = [np.ascontiguousarray(S[:, j]) for j in range(m)]
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        cand = np.flatnonzero(alive[:stop])
+        le = np.ones((cand.size, stop - start), dtype=bool)
+        lt = np.zeros((cand.size, stop - start), dtype=bool)
+        for j in range(m):
+            pj = cols[j][cand][:, None]
+            bj = cols[j][start:stop][None, :]
+            le &= pj <= bj
+            lt |= pj < bj
+        alive[start:stop] = ~(le & lt).any(axis=0)
+    mask = np.empty(n, dtype=bool)
+    mask[order] = alive
+    return mask
+
+
+def nondominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of Pareto-nondominated rows of an ``(n, m)`` matrix.
+
+    Dispatches on shape: an O(n log n) sort-based sweep for two
+    objectives, a block-wise broadcast filter otherwise.  Both return
+    exactly the same mask as the row-at-a-time reference (which
+    ``REPRO_FASTPATH=0`` restores): the set of rows with no dominator.
+    """
+    F = np.asarray(objectives, dtype=float)
+    n = F.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if not fastpath.enabled():
+        return _nondominated_mask_reference(F)
+    if F.shape[1] == 1:
+        return F[:, 0] == F[:, 0].min()
+    if F.shape[1] == 2:
+        return _nondominated_mask_2d(F)
+    return _nondominated_mask_blocked(F)
 
 
 def nondominated_filter(objectives: np.ndarray) -> np.ndarray:

@@ -155,10 +155,13 @@ class MOEAD:
             )
         hist = history or RunHistory(snapshot_interval=n)
 
-        self.population = [
-            self._evaluate(self.problem.random_solution(self.rng))
-            for _ in range(n)
-        ]
+        # Batched initial sampling/evaluation; same rng draws and ideal
+        # point as the former one-at-a-time loop.
+        self.population = self.problem.random_solutions(self.rng, n)
+        self.problem.evaluate_solutions(self.population)
+        self.nfe += n
+        for member in self.population:
+            self.ideal = np.minimum(self.ideal, member.objectives)
 
         while self.nfe < max_nfe:
             for i in range(n):

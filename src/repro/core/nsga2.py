@@ -200,14 +200,21 @@ class NSGAII:
             raise ValueError("max_nfe must cover at least one population")
         hist = history or RunHistory(snapshot_interval=self.population_size)
 
-        self.population = [
-            self._evaluate(self.problem.random_solution(self.rng))
-            for _ in range(self.population_size)
-        ]
+        # Initial sampling and each generation's offspring are evaluated
+        # through one vectorized evaluate_batch call; the decision-vector
+        # rng draws and resulting trajectory are identical to the former
+        # one-at-a-time loop.
+        self.population = self.problem.random_solutions(
+            self.rng, self.population_size
+        )
+        self.problem.evaluate_solutions(self.population)
+        self.nfe += self.population_size
         self._rank_population()
 
         while self.nfe < max_nfe:
-            offspring = [self._evaluate(s) for s in self._make_offspring()]
+            offspring = self._make_offspring()
+            self.problem.evaluate_solutions(offspring)
+            self.nfe += len(offspring)
             self.population = self._environmental_selection(
                 self.population + offspring
             )

@@ -26,6 +26,19 @@ class Population:
         self._objectives: Optional[np.ndarray] = None
         self._violations: Optional[np.ndarray] = None
 
+    @classmethod
+    def initialize(cls, problem, size: int, rng: np.random.Generator) -> "Population":
+        """Random population of ``size``, evaluated in one batched call.
+
+        Draws the decision vectors with a single ``(size, nvars)``
+        sample (same stream consumption as ``size`` sequential
+        :meth:`Problem.random_solution` calls) and evaluates them with
+        :meth:`Problem.evaluate_batch`.
+        """
+        solutions = problem.random_solutions(rng, size)
+        problem.evaluate_solutions(solutions)
+        return cls(solutions)
+
     # -- container protocol --------------------------------------------------
     def __len__(self) -> int:
         return len(self.solutions)

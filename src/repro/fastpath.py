@@ -1,0 +1,46 @@
+"""Global toggle for the vectorized fast paths.
+
+The batch-evaluation, non-dominated-filtering and hypervolume hot paths
+each keep their straightforward reference implementation alongside the
+vectorized one.  This module holds the switch that selects between
+them, so tests can assert the fast paths introduce no behavioural
+drift (seeded runs produce identical archives either way).
+
+The default comes from the ``REPRO_FASTPATH`` environment variable
+(``0``/``false``/``off`` disable it); everything else — including the
+variable being unset — enables the fast paths.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["enabled", "set_enabled", "disabled"]
+
+_FALSEY = {"0", "false", "off", "no"}
+
+_enabled = os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in _FALSEY
+
+
+def enabled() -> bool:
+    """True when the vectorized fast paths are active."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Switch the fast paths on or off globally."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def disabled():
+    """Context manager running its body with the fast paths off."""
+    global _enabled
+    previous = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous

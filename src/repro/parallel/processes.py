@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import fastpath
 from ..core.borg import BorgConfig, BorgEngine
 from ..core.events import RunHistory
 from ..problems.base import Problem
@@ -25,23 +26,29 @@ __all__ = ["run_process_master_slave"]
 
 
 def _worker_main(problem: Problem, tasks, results, wid: int) -> None:
-    """Worker process: evaluate decision vectors until poisoned."""
+    """Worker process: evaluate blocks of decision vectors until
+    poisoned.  Each task is ``(task_id, X)`` with ``X`` an ``(n, nvars)``
+    block; the reply carries the matching objective/constraint blocks."""
     while True:
         item = tasks.get()
         if item is None:
             return
-        task_id, variables = item
-        x = np.asarray(variables, dtype=float)
-        objectives = np.asarray(problem._evaluate(x), dtype=float)
-        constraints = problem._evaluate_constraints(x)
+        task_id, X = item
+        X = np.asarray(X, dtype=float)
+        if fastpath.enabled():
+            F, C = problem._evaluate_batch(X)
+        else:
+            F, C = problem._evaluate_batch_fallback(X)
         if hasattr(problem, "real_delay") and problem.real_delay:
-            time.sleep(problem.sample_evaluation_time())
+            time.sleep(
+                sum(problem.sample_evaluation_time() for _ in range(X.shape[0]))
+            )
         results.put(
             (
                 wid,
                 task_id,
-                objectives,
-                None if constraints is None else np.asarray(constraints, float),
+                np.asarray(F, dtype=float),
+                None if C is None else np.asarray(C, dtype=float),
             )
         )
 
@@ -54,13 +61,22 @@ def run_process_master_slave(
     seed: Optional[int] = None,
     snapshot_interval: Optional[int] = None,
     start_method: str = "fork",
+    batch_size: int = 1,
 ) -> ParallelRunResult:
     """Asynchronous master-slave Borg on ``processors - 1`` worker
-    processes.  Requires a picklable problem (all built-ins are)."""
+    processes.  Requires a picklable problem (all built-ins are).
+
+    ``batch_size`` > 1 packs that many decision vectors into each task
+    message; workers evaluate the block with one vectorized pass and
+    reply with the stacked objective/constraint matrices, cutting both
+    queue round-trips and per-evaluation numpy overhead.
+    """
     if processors < 2:
         raise ValueError("need at least 2 processors (master + 1 worker)")
     if max_nfe < 1:
         raise ValueError("max_nfe must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     cfg = config or BorgConfig()
     engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
     history = RunHistory(
@@ -84,33 +100,43 @@ def run_process_master_slave(
     for p in procs:
         p.start()
 
-    def dispatch() -> None:
+    def in_flight_count() -> int:
+        return sum(len(group) for group in in_flight.values())
+
+    def dispatch(count: int) -> None:
         nonlocal next_task_id
-        candidate = engine.next_candidate()
-        in_flight[next_task_id] = candidate
-        tasks.put((next_task_id, candidate.variables))
+        group = [engine.next_candidate() for _ in range(count)]
+        in_flight[next_task_id] = group
+        tasks.put(
+            (next_task_id, np.stack([c.variables for c in group]))
+        )
         next_task_id += 1
 
     try:
         for _ in range(nworkers):
-            dispatch()
+            remaining = max_nfe - engine.nfe - in_flight_count()
+            if remaining <= 0:
+                break
+            dispatch(min(batch_size, remaining))
         while engine.nfe < max_nfe:
-            wid, task_id, objectives, constraints = results.get()
-            candidate = in_flight.pop(task_id)
-            candidate.objectives = objectives
-            if constraints is not None:
-                candidate.constraints = constraints
-            problem.evaluations += 1
-            engine.ingest(candidate)
-            worker_evals[wid] += 1
+            wid, task_id, F, C = results.get()
+            group = in_flight.pop(task_id)
+            for i, candidate in enumerate(group):
+                candidate.objectives = np.asarray(F[i], dtype=float)
+                if C is not None:
+                    candidate.constraints = np.asarray(C[i], dtype=float)
+                problem.evaluations += 1
+                engine.ingest(candidate)
+            worker_evals[wid] += len(group)
             history.maybe_record(
                 engine.nfe,
                 time.perf_counter() - start,
                 engine.archive._objectives,
                 engine.restarts,
             )
-            if engine.nfe + len(in_flight) < max_nfe:
-                dispatch()
+            remaining = max_nfe - engine.nfe - in_flight_count()
+            if remaining > 0:
+                dispatch(min(batch_size, remaining))
     finally:
         for _ in procs:
             tasks.put(None)

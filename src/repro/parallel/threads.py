@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import fastpath
 from ..core.borg import BorgConfig, BorgEngine
 from ..core.events import RunHistory
 from ..core.solution import Solution
@@ -41,6 +42,7 @@ def run_threaded_master_slave(
     seed: Optional[int] = None,
     snapshot_interval: Optional[int] = None,
     sync: bool = False,
+    batch_size: int = 1,
 ) -> ParallelRunResult:
     """Asynchronous (or generational, with ``sync=True``) master-slave
     Borg on ``processors - 1`` worker threads.
@@ -48,11 +50,17 @@ def run_threaded_master_slave(
     The master thread owns the engine exclusively; workers only
     evaluate.  Shared state is limited to two queues, so no locks are
     needed around algorithm state.
+
+    ``batch_size`` > 1 ships that many solutions per message; the worker
+    evaluates the block with one vectorized ``evaluate_batch`` pass,
+    which amortises both queue traffic and numpy call overhead.
     """
     if processors < 2:
         raise ValueError("need at least 2 processors (master + 1 worker)")
     if max_nfe < 1:
         raise ValueError("max_nfe must be >= 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     cfg = config or BorgConfig()
     engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
     history = RunHistory(
@@ -73,26 +81,33 @@ def run_threaded_master_slave(
             item = tasks.get()
             if item is _STOP:
                 return
-            candidate: Solution = item
+            group: list[Solution] = item
             t0 = time.perf_counter()
-            x = candidate.variables
-            objectives = problem._evaluate(x)
-            constraints = problem._evaluate_constraints(x)
+            X = np.stack([c.variables for c in group])
+            # Raw batch kernels (no public evaluate_batch): the shared
+            # evaluation counter must be updated under the lock below.
+            if fastpath.enabled():
+                F, C = problem._evaluate_batch(X)
+            else:
+                F, C = problem._evaluate_batch_fallback(X)
             if problem_is_timed and problem.real_delay:
                 # The delay RNG is shared; sample under the lock, sleep
                 # outside it so delays genuinely overlap.
                 with eval_lock:
-                    delay = problem.sample_evaluation_time()
+                    delay = sum(
+                        problem.sample_evaluation_time() for _ in group
+                    )
                 time.sleep(delay)
             # Shared mutable state (evaluation counter) is guarded; the
-            # candidate itself is exclusively owned by this worker.
+            # candidates themselves are exclusively owned by this worker.
             with eval_lock:
-                candidate.objectives = np.asarray(objectives, dtype=float)
-                if constraints is not None:
-                    candidate.constraints = np.asarray(constraints, dtype=float)
-                problem.evaluations += 1
+                for i, candidate in enumerate(group):
+                    candidate.objectives = np.asarray(F[i], dtype=float)
+                    if C is not None:
+                        candidate.constraints = np.asarray(C[i], dtype=float)
+                problem.evaluations += len(group)
             observed["tf"].record(time.perf_counter() - t0)
-            results.put((wid, candidate))
+            results.put((wid, group))
 
     threads = [
         threading.Thread(target=worker, args=(w,), daemon=True, name=f"borg-worker-{w}")
@@ -102,41 +117,48 @@ def run_threaded_master_slave(
     for t in threads:
         t.start()
 
-    def dispatch() -> None:
-        tasks.put(engine.next_candidate())
+    def dispatch(count: int) -> int:
+        tasks.put([engine.next_candidate() for _ in range(count)])
+        return count
 
-    def collect_one() -> None:
-        wid, solution = results.get()
-        engine.ingest(solution)
-        worker_evals[wid] += 1
+    def collect_one() -> int:
+        wid, group = results.get()
+        for solution in group:
+            engine.ingest(solution)
+        worker_evals[wid] += len(group)
         history.maybe_record(
             engine.nfe,
             time.perf_counter() - start,
             engine.archive._objectives,
             engine.restarts,
         )
+        return len(group)
 
     try:
         if sync:
-            # Generational: batches of nworkers, full barrier between.
+            # Generational: batches of nworkers tasks, full barrier between.
             while engine.nfe < max_nfe:
-                batch = min(nworkers, max_nfe - engine.nfe)
-                for _ in range(batch):
-                    dispatch()
-                for _ in range(batch):
+                generation = min(nworkers * batch_size, max_nfe - engine.nfe)
+                ntasks = 0
+                issued = 0
+                while issued < generation:
+                    issued += dispatch(min(batch_size, generation - issued))
+                    ntasks += 1
+                for _ in range(ntasks):
                     collect_one()
         else:
             # Asynchronous steady state: refill as results return.
             in_flight = 0
             for _ in range(nworkers):
-                dispatch()
-                in_flight += 1
+                remaining = max_nfe - engine.nfe - in_flight
+                if remaining <= 0:
+                    break
+                in_flight += dispatch(min(batch_size, remaining))
             while engine.nfe < max_nfe:
-                collect_one()
-                in_flight -= 1
-                if engine.nfe + in_flight < max_nfe:
-                    dispatch()
-                    in_flight += 1
+                in_flight -= collect_one()
+                remaining = max_nfe - engine.nfe - in_flight
+                if remaining > 0:
+                    in_flight += dispatch(min(batch_size, remaining))
     finally:
         for _ in threads:
             tasks.put(_STOP)

@@ -158,9 +158,11 @@ def run_async_master_slave(
 
         speed = 1.0 if worker_speeds is None else float(worker_speeds[wid])
         while not done.triggered:
-            for candidate in batch:
+            # One TF hold per solution (the virtual cost is unchanged),
+            # then the whole batch through one vectorized evaluation.
+            for _ in batch:
                 yield hold("tf", name, scale=speed)
-                problem.evaluate(candidate)
+            problem.evaluate_solutions(batch)
             with master.request() as req:
                 yield req
                 if done.triggered:
@@ -255,7 +257,6 @@ def run_sync_master_slave(
 
     def worker_generation(env: Environment, wid: int, candidate, done_ev):
         yield hold("tf", f"worker {wid + 1}")
-        problem.evaluate(candidate)
         with master.request() as req:
             yield req
             yield hold("tc", "master")   # result return
@@ -265,6 +266,10 @@ def run_sync_master_slave(
     def master_proc(env: Environment):
         while engine.nfe < max_nfe:
             batch = [engine.next_candidate() for _ in range(processors)]
+            # Numerically the whole generation is one vectorized batch;
+            # the virtual-clock costs (per-worker TF, master's own TF)
+            # are still paid at the same instants below.
+            problem.evaluate_solutions(batch)
             done_events = []
             with master.request() as req:
                 yield req
@@ -278,7 +283,6 @@ def run_sync_master_slave(
                     done_events.append(ev)
                 # Master evaluates the final offspring itself.
                 yield hold("tf", "master")
-                problem.evaluate(batch[-1])
             yield env.all_of(done_events)
             with master.request() as req:
                 yield req

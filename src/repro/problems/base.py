@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import fastpath
 from ..core.solution import Solution
 
 __all__ = ["Problem", "FunctionProblem"]
@@ -63,6 +64,82 @@ class Problem(ABC):
         """Constraint-violation vector; None for unconstrained problems."""
         return None
 
+    def _evaluate_batch(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Objectives (and constraints) for a batch of decision vectors.
+
+        ``X`` has shape ``(n, nvars)``; returns ``(F, C)`` where ``F``
+        is ``(n, nobjs)`` and ``C`` is ``(n, nconstraints)`` or None.
+
+        The base implementation loops over :meth:`_evaluate`; analytic
+        suites override it with a NumPy-vectorized version that matches
+        the scalar path bit for bit.
+        """
+        return self._evaluate_batch_fallback(X)
+
+    def _evaluate_batch_fallback(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Reference row-by-row batch evaluation (always available)."""
+        n = X.shape[0]
+        F = np.empty((n, self.nobjs), dtype=float)
+        C: Optional[np.ndarray] = None
+        for i in range(n):
+            F[i] = np.asarray(self._evaluate(X[i]), dtype=float)
+            constraints = self._evaluate_constraints(X[i])
+            if constraints is not None:
+                if C is None:
+                    C = np.zeros(
+                        (n, np.asarray(constraints).shape[0]), dtype=float
+                    )
+                C[i] = np.asarray(constraints, dtype=float)
+        return F, C
+
+    def evaluate_batch(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Evaluate ``n`` decision vectors at once.
+
+        Returns ``(F, C)``: the ``(n, nobjs)`` objective matrix and the
+        ``(n, nconstraints)`` constraint-violation matrix (None when the
+        problem is unconstrained).  Counts ``n`` function evaluations.
+
+        With the :mod:`repro.fastpath` toggle off this routes through
+        the scalar :meth:`_evaluate` loop, which lets tests prove the
+        vectorized overrides are drift-free.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.nvars:
+            raise ValueError(
+                f"expected shape (n, {self.nvars}), got {X.shape}"
+            )
+        if fastpath.enabled():
+            F, C = self._evaluate_batch(X)
+        else:
+            F, C = self._evaluate_batch_fallback(X)
+        F = np.asarray(F, dtype=float)
+        if F.shape != (X.shape[0], self.nobjs):
+            raise ValueError(
+                f"{self.name} returned batch objectives of shape {F.shape}, "
+                f"expected ({X.shape[0]}, {self.nobjs})"
+            )
+        if C is not None:
+            C = np.asarray(C, dtype=float)
+        self.evaluations += X.shape[0]
+        return F, C
+
+    def evaluate_solutions(self, solutions: Sequence[Solution]) -> None:
+        """Evaluate a batch of :class:`Solution` objects in place."""
+        if not solutions:
+            return
+        X = np.stack([s.variables for s in solutions])
+        F, C = self.evaluate_batch(X)
+        for i, solution in enumerate(solutions):
+            solution.objectives = F[i].copy()
+            if C is not None:
+                solution.constraints = C[i].copy()
+
     def evaluate(self, solution: Solution) -> Solution:
         """Evaluate ``solution`` in place and return it."""
         x = solution.variables
@@ -88,6 +165,18 @@ class Problem(ABC):
         x = self.lower + rng.random(self.nvars) * (self.upper - self.lower)
         return Solution(x, operator="initial")
 
+    def random_solutions(
+        self, rng: np.random.Generator, n: int
+    ) -> list[Solution]:
+        """``n`` uniformly random (unevaluated) solutions within bounds.
+
+        Consumes the generator's stream exactly as ``n`` successive
+        :meth:`random_solution` calls would (a C-order ``(n, nvars)``
+        draw is the same sample sequence), so seeded runs are unchanged.
+        """
+        X = self.lower + rng.random((n, self.nvars)) * (self.upper - self.lower)
+        return [Solution(x, operator="initial") for x in X]
+
     def default_epsilons(self) -> np.ndarray:
         """Archive resolution used when the caller does not supply one.
 
@@ -107,7 +196,9 @@ class FunctionProblem(Problem):
     """Adapter turning a plain callable into a :class:`Problem`.
 
     ``function(x) -> objectives`` with optional
-    ``constraint_function(x) -> violations``.
+    ``constraint_function(x) -> violations``.  ``batch_function``, when
+    given, maps an ``(n, nvars)`` matrix to ``(n, nobjs)`` objectives in
+    one call and is used by :meth:`evaluate_batch`.
     """
 
     def __init__(
@@ -120,6 +211,7 @@ class FunctionProblem(Problem):
         constraint_function=None,
         nconstraints: int = 0,
         name: Optional[str] = None,
+        batch_function=None,
     ) -> None:
         super().__init__(
             nvars,
@@ -131,6 +223,7 @@ class FunctionProblem(Problem):
         )
         self._function = function
         self._constraint_function = constraint_function
+        self._batch_function = batch_function
 
     def _evaluate(self, x: np.ndarray) -> np.ndarray:
         return np.asarray(self._function(x), dtype=float)
@@ -139,3 +232,17 @@ class FunctionProblem(Problem):
         if self._constraint_function is None:
             return None
         return np.asarray(self._constraint_function(x), dtype=float)
+
+    def _evaluate_batch(self, X: np.ndarray):
+        if self._batch_function is None:
+            return self._evaluate_batch_fallback(X)
+        F = np.asarray(self._batch_function(X), dtype=float)
+        if self._constraint_function is None:
+            return F, None
+        C = np.stack(
+            [
+                np.asarray(self._constraint_function(x), dtype=float)
+                for x in X
+            ]
+        )
+        return F, C

@@ -86,6 +86,9 @@ class TimedProblem(Problem):
     def _evaluate_constraints(self, x: np.ndarray):
         return self.inner._evaluate_constraints(x)
 
+    def _evaluate_batch(self, X: np.ndarray):
+        return self.inner._evaluate_batch(X)
+
     def evaluate(self, solution: Solution) -> Solution:
         dt = self.sample_evaluation_time()
         self.last_evaluation_time = dt
@@ -93,6 +96,23 @@ class TimedProblem(Problem):
         if self.real_delay:
             time.sleep(dt)
         return super().evaluate(solution)
+
+    def evaluate_batch(self, X: np.ndarray):
+        """Batched evaluation: one delay sample per solution, in the
+        same stream order as ``n`` scalar :meth:`evaluate` calls."""
+        X = np.asarray(X, dtype=float)
+        n = X.shape[0] if X.ndim == 2 else 0
+        total = 0.0
+        for _ in range(n):
+            dt = self.sample_evaluation_time()
+            self.last_evaluation_time = dt
+            # Accumulate per sample so the running total rounds exactly
+            # as n scalar evaluate() calls would.
+            self.total_evaluation_time += dt
+            total += dt
+        if self.real_delay and total > 0.0:
+            time.sleep(total)
+        return super().evaluate_batch(X)
 
     def default_epsilons(self) -> np.ndarray:
         return self.inner.default_epsilons()

@@ -46,6 +46,12 @@ class _DTLZ(Problem):
         m = self.nobjs
         return x[: m - 1], x[m - 1 :]
 
+    def _position_distance_batch(
+        self, X: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        m = self.nobjs
+        return X[:, : m - 1], X[:, m - 1 :]
+
 
 def _spherical_objectives(theta: np.ndarray, g: float, m: int) -> np.ndarray:
     """DTLZ2/3/4 shape: products of cosines with a trailing sine."""
@@ -58,6 +64,25 @@ def _spherical_objectives(theta: np.ndarray, g: float, m: int) -> np.ndarray:
             prod *= sin[m - 1 - j]
         f[j] = (1.0 + g) * prod
     return f
+
+
+def _spherical_objectives_batch(
+    theta: np.ndarray, g: np.ndarray, m: int
+) -> np.ndarray:
+    """Row-wise :func:`_spherical_objectives`, bit-identical per row.
+
+    Per-row axis-1 products follow the same pairwise reduction tree as
+    the scalar 1-D products, so vectorizing across rows changes nothing.
+    """
+    cos = np.cos(theta * np.pi / 2.0)
+    sin = np.sin(theta * np.pi / 2.0)
+    F = np.empty((theta.shape[0], m))
+    for j in range(m):
+        prod = np.prod(cos[:, : m - 1 - j], axis=1)
+        if j > 0:
+            prod = prod * sin[:, m - 1 - j]
+        F[:, j] = (1.0 + g) * prod
+    return F
 
 
 class DTLZ1(_DTLZ):
@@ -80,6 +105,24 @@ class DTLZ1(_DTLZ):
             f[j] = 0.5 * (1.0 + g) * prod
         return f
 
+    def _evaluate_batch(self, X: np.ndarray):
+        pos, dist = self._position_distance_batch(X)
+        m = self.nobjs
+        g = 100.0 * (
+            self.k
+            + np.sum(
+                (dist - 0.5) ** 2 - np.cos(20.0 * np.pi * (dist - 0.5)),
+                axis=1,
+            )
+        )
+        F = np.empty((X.shape[0], m))
+        for j in range(m):
+            prod = np.prod(pos[:, : m - 1 - j], axis=1)
+            if j > 0:
+                prod = prod * (1.0 - pos[:, m - 1 - j])
+            F[:, j] = 0.5 * (1.0 + g) * prod
+        return F, None
+
 
 class DTLZ2(_DTLZ):
     """Spherical Pareto front (unit hypersphere octant); unimodal g.
@@ -92,6 +135,11 @@ class DTLZ2(_DTLZ):
         g = float(np.sum((dist - 0.5) ** 2))
         return _spherical_objectives(pos, g, self.nobjs)
 
+    def _evaluate_batch(self, X: np.ndarray):
+        pos, dist = self._position_distance_batch(X)
+        g = np.sum((dist - 0.5) ** 2, axis=1)
+        return _spherical_objectives_batch(pos, g, self.nobjs), None
+
 
 class DTLZ3(_DTLZ):
     """DTLZ2's sphere with DTLZ1's highly multimodal distance function."""
@@ -103,6 +151,17 @@ class DTLZ3(_DTLZ):
             + np.sum((dist - 0.5) ** 2 - np.cos(20.0 * np.pi * (dist - 0.5)))
         )
         return _spherical_objectives(pos, g, self.nobjs)
+
+    def _evaluate_batch(self, X: np.ndarray):
+        pos, dist = self._position_distance_batch(X)
+        g = 100.0 * (
+            self.k
+            + np.sum(
+                (dist - 0.5) ** 2 - np.cos(20.0 * np.pi * (dist - 0.5)),
+                axis=1,
+            )
+        )
+        return _spherical_objectives_batch(pos, g, self.nobjs), None
 
 
 class DTLZ4(_DTLZ):
@@ -118,3 +177,8 @@ class DTLZ4(_DTLZ):
         pos, dist = self._position_distance(x)
         g = float(np.sum((dist - 0.5) ** 2))
         return _spherical_objectives(pos**self.alpha, g, self.nobjs)
+
+    def _evaluate_batch(self, X: np.ndarray):
+        pos, dist = self._position_distance_batch(X)
+        g = np.sum((dist - 0.5) ** 2, axis=1)
+        return _spherical_objectives_batch(pos**self.alpha, g, self.nobjs), None

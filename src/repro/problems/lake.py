@@ -70,12 +70,28 @@ class LakeProblem(Problem):
 
     def simulate(self, decisions: np.ndarray) -> np.ndarray:
         """Lake phosphorus trajectory under a discharge policy."""
+        # np.power (not **): np.float64.__pow__ rounds differently from
+        # the power ufunc the batched simulation uses.
         horizon = decisions.size
         x = np.empty(horizon + 1)
         x[0] = 0.0
         for t in range(horizon):
-            recycling = x[t] ** self.q / (1.0 + x[t] ** self.q)
+            pq = np.power(x[t], self.q)
+            recycling = pq / (1.0 + pq)
             x[t + 1] = x[t] + decisions[t] + recycling - self.b * x[t]
+        return x
+
+    def simulate_batch(self, decisions: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`simulate`: one trajectory per policy row.
+
+        Vectorized across policies; the time recurrence stays serial.
+        """
+        n, horizon = decisions.shape
+        x = np.zeros((n, horizon + 1))
+        for t in range(horizon):
+            pq = np.power(x[:, t], self.q)
+            recycling = pq / (1.0 + pq)
+            x[:, t + 1] = x[:, t] + decisions[:, t] + recycling - self.b * x[:, t]
         return x
 
     def _evaluate(self, a: np.ndarray) -> np.ndarray:
@@ -88,6 +104,16 @@ class LakeProblem(Problem):
         inertia = float(np.mean(cuts >= -self.inertia_limit))
         reliability = float(np.mean(x[1:] < self.critical_p))
         return np.array([-benefit, peak_p, -inertia, -reliability])
+
+    def _evaluate_batch(self, A: np.ndarray):
+        x = self.simulate_batch(A)
+        t = np.arange(A.shape[1])
+        benefit = np.sum(self.alpha * A * self.delta**t, axis=1)
+        peak_p = np.max(x, axis=1)
+        cuts = np.diff(A, axis=1, prepend=A[:, :1])
+        inertia = np.mean(cuts >= -self.inertia_limit, axis=1)
+        reliability = np.mean(x[:, 1:] < self.critical_p, axis=1)
+        return np.stack([-benefit, peak_p, -inertia, -reliability], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.array([0.01, 0.01, 0.05, 0.05])

@@ -14,7 +14,23 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["random_rotation", "rotation_for", "random_scaling"]
+__all__ = ["random_rotation", "rotation_for", "random_scaling", "rotate", "rotate_rows"]
+
+
+def rotate(rotation: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Apply ``rotation`` to one vector, bit-compatible with :func:`rotate_rows`.
+
+    Uses einsum's sum-product rather than BLAS ``@``: gemv and gemm
+    round differently from each other, so matvec-vs-matmat results would
+    drift between single and batched evaluation.  The einsum kernels are
+    bit-identical per row across both call shapes.
+    """
+    return np.einsum("ij,j->i", rotation, d)
+
+
+def rotate_rows(rotation: np.ndarray, D: np.ndarray) -> np.ndarray:
+    """Apply ``rotation`` to each row of ``D`` (shape ``(n, d)``)."""
+    return np.einsum("ij,nj->ni", rotation, D)
 
 
 def random_rotation(n: int, seed: int | np.random.Generator = 0) -> np.ndarray:

@@ -24,7 +24,7 @@ import numpy as np
 
 from .base import Problem
 from .dtlz import DTLZ2, DTLZ3
-from .rotation import random_rotation, random_scaling
+from .rotation import random_rotation, random_scaling, rotate, rotate_rows
 
 __all__ = ["UF1", "UF2", "UF11", "UF12", "RotatedProblem"]
 
@@ -72,11 +72,14 @@ class RotatedProblem(Problem):
         self._centre = 0.5 * (lo + hi)
         self._half = 0.5 * (hi - lo)
 
+    # Both transform paths use einsum rather than ``@``: BLAS gemv and
+    # gemm round differently from each other, while einsum's sum-product
+    # is bit-identical between the single-vector and batched forms.
     def transform(self, x: np.ndarray) -> np.ndarray:
         """Map a decision vector to the inner problem's coordinates."""
         z = np.array(x, dtype=float)
         d = x[self.n_position :] - self._centre
-        rotated = self.scaling * (self.rotation @ d)
+        rotated = self.scaling * rotate(self.rotation, d)
         # The scaled rotation can still poke out of the box corners for
         # extreme points; clip (the clip region is off-optimal).
         z[self.n_position :] = np.clip(
@@ -86,8 +89,24 @@ class RotatedProblem(Problem):
         )
         return z
 
+    def transform_batch(self, X: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`transform`, bit-identical per row."""
+        Z = np.array(X, dtype=float)
+        D = X[:, self.n_position :] - self._centre
+        rotated = self.scaling * rotate_rows(self.rotation, D)
+        Z[:, self.n_position :] = np.clip(
+            self._centre + rotated,
+            self._centre - self._half,
+            self._centre + self._half,
+        )
+        return Z
+
     def _evaluate(self, x: np.ndarray) -> np.ndarray:
         return self.inner._evaluate(self.transform(x))
+
+    def _evaluate_batch(self, X: np.ndarray):
+        F, _ = self.inner._evaluate_batch(self.transform_batch(X))
+        return F, None
 
     def default_epsilons(self) -> np.ndarray:
         return self.inner.default_epsilons()
@@ -138,6 +157,26 @@ class UF1(Problem):
         f2 = 1.0 - np.sqrt(x[0]) + (2.0 / max(1, even.sum())) * np.sum(y[even] ** 2)
         return np.array([f1, f2])
 
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j = np.arange(2, n + 1)
+        x1 = X[:, 0]
+        Y = X[:, 1:] - np.sin(6.0 * np.pi * x1[:, None] + j * np.pi / n)
+        odd = j % 2 == 1
+        even = ~odd
+        # Boolean column selection returns an F-ordered array whose
+        # axis-1 sum takes a different (sequential) reduction path than
+        # the scalar code's pairwise sum; re-layout for bit parity.
+        y_odd = np.ascontiguousarray(Y[:, odd])
+        y_even = np.ascontiguousarray(Y[:, even])
+        f1 = x1 + (2.0 / max(1, odd.sum())) * np.sum(y_odd**2, axis=1)
+        f2 = (
+            1.0
+            - np.sqrt(x1)
+            + (2.0 / max(1, even.sum())) * np.sum(y_even**2, axis=1)
+        )
+        return np.stack([f1, f2], axis=1), None
+
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.005)
 
@@ -178,6 +217,39 @@ class UF2(Problem):
         f1 = x1 + (2.0 / max(1, odd.sum())) * np.sum(y[odd] ** 2)
         f2 = 1.0 - np.sqrt(x1) + (2.0 / max(1, even.sum())) * np.sum(y[even] ** 2)
         return np.array([f1, f2])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j = np.arange(2, n + 1)
+        x1 = X[:, 0][:, None]
+        Xj = X[:, 1:]
+        odd = j % 2 == 1
+        even = ~odd
+        Y = np.where(
+            odd,
+            Xj
+            - (
+                0.3 * x1**2 * np.cos(24.0 * np.pi * x1 + 4.0 * j * np.pi / n)
+                + 0.6 * x1
+            )
+            * np.cos(6.0 * np.pi * x1 + j * np.pi / n),
+            Xj
+            - (
+                0.3 * x1**2 * np.cos(24.0 * np.pi * x1 + 4.0 * j * np.pi / n)
+                + 0.6 * x1
+            )
+            * np.sin(6.0 * np.pi * x1 + j * np.pi / n),
+        )
+        x1 = x1[:, 0]
+        y_odd = np.ascontiguousarray(Y[:, odd])
+        y_even = np.ascontiguousarray(Y[:, even])
+        f1 = x1 + (2.0 / max(1, odd.sum())) * np.sum(y_odd**2, axis=1)
+        f2 = (
+            1.0
+            - np.sqrt(x1)
+            + (2.0 / max(1, even.sum())) * np.sum(y_even**2, axis=1)
+        )
+        return np.stack([f1, f2], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.005)

@@ -30,6 +30,22 @@ def _mean_sq(y: np.ndarray, mask: np.ndarray) -> float:
     return (2.0 / count) * float(np.sum(y[mask] ** 2))
 
 
+def _masked_rows(Y: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Column subset of ``Y`` with C-contiguous rows.
+
+    Boolean column selection yields an F-ordered array whose axis-1
+    reductions take a sequential (not pairwise) path, which would break
+    bit parity with the scalar per-row sums.
+    """
+    return np.ascontiguousarray(Y[:, mask])
+
+
+def _mean_sq_rows(Y: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_mean_sq`, bit-identical per row."""
+    count = max(1, int(mask.sum()))
+    return (2.0 / count) * np.sum(_masked_rows(Y, mask) ** 2, axis=1)
+
+
 class UF3(Problem):
     """Bi-objective; decision space [0,1]^n; nonlinear x1-dependent
     linkage; front f2 = 1 - sqrt(f1)."""
@@ -56,6 +72,27 @@ class UF3(Problem):
         f1 = x1 + term(J1)
         f2 = 1.0 - np.sqrt(x1) + term(J2)
         return np.array([f1, f2])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2 = _split_2obj(n)
+        x1 = X[:, 0]
+        expo = 0.5 * (1.0 + 3.0 * (j - 2.0) / (n - 2.0))
+        Y = X[:, 1:] - x1[:, None] ** expo
+
+        def term(mask):
+            count = max(1, int(mask.sum()))
+            Yj = _masked_rows(Y, mask)
+            cos_part = np.prod(
+                np.cos(20.0 * Yj * np.pi / np.sqrt(j[mask])), axis=1
+            )
+            return (2.0 / count) * (
+                4.0 * np.sum(Yj**2, axis=1) - 2.0 * cos_part + 2.0
+            )
+
+        f1 = x1 + term(J1)
+        f2 = 1.0 - np.sqrt(x1) + term(J2)
+        return np.stack([f1, f2], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.005)
@@ -86,6 +123,21 @@ class UF4(Problem):
         f1 = x1 + term(J1)
         f2 = 1.0 - x1**2 + term(J2)
         return np.array([f1, f2])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2 = _split_2obj(n)
+        x1 = X[:, 0]
+        Y = X[:, 1:] - np.sin(6.0 * np.pi * x1[:, None] + j * np.pi / n)
+        H = np.abs(Y) / (1.0 + np.exp(2.0 * np.abs(Y)))
+
+        def term(mask):
+            count = max(1, int(mask.sum()))
+            return (2.0 / count) * np.sum(_masked_rows(H, mask), axis=1)
+
+        f1 = x1 + term(J1)
+        f2 = 1.0 - x1**2 + term(J2)
+        return np.stack([f1, f2], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.005)
@@ -119,6 +171,24 @@ class UF5(Problem):
         f1 = x1 + bump + term(J1)
         f2 = 1.0 - x1 + bump + term(J2)
         return np.array([f1, f2])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2 = _split_2obj(n)
+        x1 = X[:, 0]
+        Y = X[:, 1:] - np.sin(6.0 * np.pi * x1[:, None] + j * np.pi / n)
+        H = 2.0 * Y**2 - np.cos(4.0 * np.pi * Y) + 1.0
+        bump = (0.5 / self.N + self.eps) * np.abs(
+            np.sin(2.0 * self.N * np.pi * x1)
+        )
+
+        def term(mask):
+            count = max(1, int(mask.sum()))
+            return (2.0 / count) * np.sum(_masked_rows(H, mask), axis=1)
+
+        f1 = x1 + bump + term(J1)
+        f2 = 1.0 - x1 + bump + term(J2)
+        return np.stack([f1, f2], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.01)
@@ -159,6 +229,30 @@ class UF6(Problem):
         f2 = 1.0 - x1 + bump + term(J2)
         return np.array([f1, f2])
 
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2 = _split_2obj(n)
+        x1 = X[:, 0]
+        Y = X[:, 1:] - np.sin(6.0 * np.pi * x1[:, None] + j * np.pi / n)
+        bump = np.maximum(
+            0.0,
+            2.0 * (0.5 / self.N + self.eps) * np.sin(2.0 * self.N * np.pi * x1),
+        )
+
+        def term(mask):
+            count = max(1, int(mask.sum()))
+            Yj = _masked_rows(Y, mask)
+            cos_part = np.prod(
+                np.cos(20.0 * Yj * np.pi / np.sqrt(j[mask])), axis=1
+            )
+            return (2.0 / count) * (
+                4.0 * np.sum(Yj**2, axis=1) - 2.0 * cos_part + 2.0
+            )
+
+        f1 = x1 + bump + term(J1)
+        f2 = 1.0 - x1 + bump + term(J2)
+        return np.stack([f1, f2], axis=1), None
+
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.01)
 
@@ -179,10 +273,22 @@ class UF7(Problem):
         j, J1, J2 = _split_2obj(n)
         x1 = x[0]
         y = x[1:] - np.sin(6.0 * np.pi * x1 + j * np.pi / n)
-        root = x1 ** 0.2
+        # np.power (not **): np.float64.__pow__ rounds differently from
+        # the power ufunc used by the batch path.
+        root = np.power(x1, 0.2)
         f1 = root + _mean_sq(y, J1)
         f2 = 1.0 - root + _mean_sq(y, J2)
         return np.array([f1, f2])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2 = _split_2obj(n)
+        x1 = X[:, 0]
+        Y = X[:, 1:] - np.sin(6.0 * np.pi * x1[:, None] + j * np.pi / n)
+        root = np.power(x1, 0.2)
+        f1 = root + _mean_sq_rows(Y, J1)
+        f2 = 1.0 - root + _mean_sq_rows(Y, J2)
+        return np.stack([f1, f2], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(2, 0.005)
@@ -216,6 +322,18 @@ class UF8(Problem):
         f3 = np.sin(0.5 * x1 * np.pi) + _mean_sq(y, J3)
         return np.array([f1, f2, f3])
 
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2, J3 = _split_3obj(n)
+        x1, x2 = X[:, 0], X[:, 1]
+        Y = X[:, 2:] - 2.0 * x2[:, None] * np.sin(
+            2.0 * np.pi * x1[:, None] + j * np.pi / n
+        )
+        f1 = np.cos(0.5 * x1 * np.pi) * np.cos(0.5 * x2 * np.pi) + _mean_sq_rows(Y, J1)
+        f2 = np.cos(0.5 * x1 * np.pi) * np.sin(0.5 * x2 * np.pi) + _mean_sq_rows(Y, J2)
+        f3 = np.sin(0.5 * x1 * np.pi) + _mean_sq_rows(Y, J3)
+        return np.stack([f1, f2, f3], axis=1), None
+
     def default_epsilons(self) -> np.ndarray:
         return np.full(3, 0.02)
 
@@ -242,6 +360,21 @@ class UF9(Problem):
         f2 = 0.5 * (gate - 2.0 * x1 + 2.0) * x2 + _mean_sq(y, J2)
         f3 = 1.0 - x2 + _mean_sq(y, J3)
         return np.array([f1, f2, f3])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2, J3 = _split_3obj(n)
+        x1, x2 = X[:, 0], X[:, 1]
+        Y = X[:, 2:] - 2.0 * x2[:, None] * np.sin(
+            2.0 * np.pi * x1[:, None] + j * np.pi / n
+        )
+        gate = np.maximum(
+            0.0, (1.0 + self.eps) * (1.0 - 4.0 * (2.0 * x1 - 1.0) ** 2)
+        )
+        f1 = 0.5 * (gate + 2.0 * x1) * x2 + _mean_sq_rows(Y, J1)
+        f2 = 0.5 * (gate - 2.0 * x1 + 2.0) * x2 + _mean_sq_rows(Y, J2)
+        f3 = 1.0 - x2 + _mean_sq_rows(Y, J3)
+        return np.stack([f1, f2, f3], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(3, 0.02)
@@ -273,6 +406,24 @@ class UF10(Problem):
         f2 = np.cos(0.5 * x1 * np.pi) * np.sin(0.5 * x2 * np.pi) + term(J2)
         f3 = np.sin(0.5 * x1 * np.pi) + term(J3)
         return np.array([f1, f2, f3])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        n = self.nvars
+        j, J1, J2, J3 = _split_3obj(n)
+        x1, x2 = X[:, 0], X[:, 1]
+        Y = X[:, 2:] - 2.0 * x2[:, None] * np.sin(
+            2.0 * np.pi * x1[:, None] + j * np.pi / n
+        )
+        H = 4.0 * Y**2 - np.cos(8.0 * np.pi * Y) + 1.0
+
+        def term(mask):
+            count = max(1, int(mask.sum()))
+            return (2.0 / count) * np.sum(_masked_rows(H, mask), axis=1)
+
+        f1 = np.cos(0.5 * x1 * np.pi) * np.cos(0.5 * x2 * np.pi) + term(J1)
+        f2 = np.cos(0.5 * x1 * np.pi) * np.sin(0.5 * x2 * np.pi) + term(J2)
+        f3 = np.sin(0.5 * x1 * np.pi) + term(J3)
+        return np.stack([f1, f2, f3], axis=1), None
 
     def default_epsilons(self) -> np.ndarray:
         return np.full(3, 0.02)

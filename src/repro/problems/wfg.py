@@ -106,6 +106,37 @@ def r_nonsep(y, A):
 
 
 # ---------------------------------------------------------------------------
+# Row-wise reductions used by the batched pipeline.  These use plain
+# sum-products (never BLAS ``np.dot``, whose rounding differs between
+# vector and matrix shapes), so a batch of one is bit-identical to any
+# row of a larger batch.
+# ---------------------------------------------------------------------------
+
+def r_sum_rows(Y: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Weighted-sum reduction of each row of ``Y``."""
+    w = np.asarray(w, dtype=float)
+    return np.sum(Y * w, axis=1) / w.sum()
+
+
+def r_mean_rows(Y: np.ndarray) -> np.ndarray:
+    """Unit-weight :func:`r_sum_rows` (multiplying by 1 is exact)."""
+    return np.sum(Y, axis=1) / float(Y.shape[1])
+
+
+def r_nonsep_rows(Y: np.ndarray, A: int) -> np.ndarray:
+    """Non-separable reduction of degree A applied to each row."""
+    n = Y.shape[1]
+    total = np.zeros(Y.shape[0])
+    for j in range(n):
+        inner = Y[:, j].copy()
+        for k in range(A - 1):
+            inner += np.abs(Y[:, j] - Y[:, (j + k + 1) % n])
+        total += inner
+    denom = n * np.ceil(A / 2.0) * (1.0 + 2.0 * A - 2.0 * np.ceil(A / 2.0)) / A
+    return _clip01(total / denom)
+
+
+# ---------------------------------------------------------------------------
 # Shape functions (Huband et al., Table 10); x has length M-1
 # ---------------------------------------------------------------------------
 
@@ -142,6 +173,42 @@ def shape_mixed(x, alpha, A):
 def shape_disc(x, alpha, beta, A):
     """Disconnected final shape with A regions."""
     return 1.0 - x[0] ** alpha * np.cos(A * x[0] ** beta * np.pi) ** 2
+
+
+# Row-wise shape functions: ``X`` has one length-(M-1) position row per
+# batch member; each returns the m-th shape value for every row.
+
+def shape_linear_rows(X, m, M):
+    out = np.prod(X[:, : M - m], axis=1)
+    if m > 1:
+        out = out * (1.0 - X[:, M - m])
+    return out
+
+
+def shape_convex_rows(X, m, M):
+    out = np.prod(1.0 - np.cos(X[:, : M - m] * np.pi / 2.0), axis=1)
+    if m > 1:
+        out = out * (1.0 - np.sin(X[:, M - m] * np.pi / 2.0))
+    return out
+
+
+def shape_concave_rows(X, m, M):
+    out = np.prod(np.sin(X[:, : M - m] * np.pi / 2.0), axis=1)
+    if m > 1:
+        out = out * np.cos(X[:, M - m] * np.pi / 2.0)
+    return out
+
+
+def shape_mixed_rows(X, alpha, A):
+    tmp = 2.0 * A * np.pi
+    return (
+        1.0 - X[:, 0] - np.cos(tmp * X[:, 0] + np.pi / 2.0) / tmp
+    ) ** alpha
+
+
+def shape_disc_rows(X, alpha, beta, A):
+    x0 = X[:, 0]
+    return 1.0 - x0**alpha * np.cos(A * x0**beta * np.pi) ** 2
 
 
 # ---------------------------------------------------------------------------
@@ -188,54 +255,58 @@ class _WFG(Problem):
         return False
 
     # -- pipeline pieces shared across problems -------------------------------
-    def _normalise(self, z: np.ndarray) -> np.ndarray:
-        return _clip01(z / self.upper)
+    # The pipeline is batch-first: every stage maps an (n, cols) matrix
+    # row-wise, and the scalar ``_evaluate`` runs a batch of one, so
+    # single and batched evaluation are bit-identical by construction.
+    def _normalise(self, Z: np.ndarray) -> np.ndarray:
+        return _clip01(Z / self.upper)
 
-    def _weighted_sum_reduction(self, t: np.ndarray) -> np.ndarray:
+    def _weighted_sum_reduction(self, T: np.ndarray) -> np.ndarray:
         """Final r_sum reduction with weights w_i = 2i (WFG1's t4)."""
         M, k, n = self.nobjs, self.k, self.nvars
-        out = np.empty(M)
+        out = np.empty((T.shape[0], M))
         gap = k // (M - 1)
         for m in range(1, M):
             lo, hi = (m - 1) * gap, m * gap
-            out[m - 1] = r_sum(t[lo:hi], 2.0 * np.arange(lo + 1, hi + 1))
-        out[M - 1] = r_sum(t[k:n], 2.0 * np.arange(k + 1, n + 1))
+            out[:, m - 1] = r_sum_rows(
+                T[:, lo:hi], 2.0 * np.arange(lo + 1, hi + 1)
+            )
+        out[:, M - 1] = r_sum_rows(T[:, k:n], 2.0 * np.arange(k + 1, n + 1))
         return out
 
-    def _uniform_sum_reduction(self, t: np.ndarray) -> np.ndarray:
+    def _uniform_sum_reduction(self, T: np.ndarray) -> np.ndarray:
         """r_sum with unit weights (most problems' final reduction)."""
         M, k, n = self.nobjs, self.k, self.nvars
-        out = np.empty(M)
+        out = np.empty((T.shape[0], M))
         gap = k // (M - 1)
         for m in range(1, M):
             lo, hi = (m - 1) * gap, m * gap
-            out[m - 1] = r_sum(t[lo:hi], np.ones(hi - lo))
-        out[M - 1] = r_sum(t[k:n], np.ones(n - k))
+            out[:, m - 1] = r_mean_rows(T[:, lo:hi])
+        out[:, M - 1] = r_mean_rows(T[:, k:n])
         return out
 
-    def _even_pair_reduction(self, t: np.ndarray) -> np.ndarray:
+    def _even_pair_reduction(self, T: np.ndarray) -> np.ndarray:
         """WFG2/WFG3 t2: non-separable pairing of the distance params."""
         M, k, n = self.nobjs, self.k, self.nvars
         half = (n - k) // 2
-        out = np.empty(k + half)
-        out[:k] = t[:k]
+        out = np.empty((T.shape[0], k + half))
+        out[:, :k] = T[:, :k]
         for i in range(half):
-            pair = t[k + 2 * i : k + 2 * i + 2]
-            out[k + i] = r_nonsep(pair, 2)
+            pair = T[:, k + 2 * i : k + 2 * i + 2]
+            out[:, k + i] = r_nonsep_rows(pair, 2)
         return out
 
-    def _reduce_after_pairing(self, t: np.ndarray) -> np.ndarray:
+    def _reduce_after_pairing(self, T: np.ndarray) -> np.ndarray:
         M, k = self.nobjs, self.k
-        half = t.size - k
-        out = np.empty(M)
+        out = np.empty((T.shape[0], M))
         gap = k // (M - 1)
         for m in range(1, M):
             lo, hi = (m - 1) * gap, m * gap
-            out[m - 1] = r_sum(t[lo:hi], np.ones(hi - lo))
-        out[M - 1] = r_sum(t[k:], np.ones(half))
+            out[:, m - 1] = r_mean_rows(T[:, lo:hi])
+        out[:, M - 1] = r_mean_rows(T[:, k:])
         return out
 
-    def _objectives_from(self, t: np.ndarray, shapes) -> np.ndarray:
+    def _objectives_from(self, T: np.ndarray, shapes) -> np.ndarray:
         """Apply degeneracy constants A, compute x, then f = D x_M + S h."""
         M = self.nobjs
         if self.degenerate:
@@ -243,16 +314,19 @@ class _WFG(Problem):
             A[0] = 1.0
         else:
             A = np.ones(M - 1)
-        x = np.empty(M)
-        x[: M - 1] = np.maximum(t[M - 1], A) * (t[: M - 1] - 0.5) + 0.5
-        x[M - 1] = t[M - 1]
+        tM = T[:, M - 1]
+        Xp = np.maximum(tM[:, None], A) * (T[:, : M - 1] - 0.5) + 0.5
         S = 2.0 * np.arange(1, M + 1)
-        h = np.array([shapes(x[: M - 1], m) for m in range(1, M + 1)])
-        return x[M - 1] + S * h
+        H = np.stack([shapes(Xp, m) for m in range(1, M + 1)], axis=1)
+        return tM[:, None] + S * H
 
     # -- per-problem hook ---------------------------------------------------------
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, X: np.ndarray):
         raise NotImplementedError
+
+    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+        F, _ = self._evaluate_batch(np.asarray(z, dtype=float)[None, :])
+        return F[0]
 
     def default_epsilons(self) -> np.ndarray:
         # Objectives span [0, 2m]; 1% of the largest scale.
@@ -277,25 +351,25 @@ class WFG1(_WFG):
     hardest problem for real optimisers.
     """
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
-        k, n, M = self.k, self.nvars, self.nobjs
-        y = self._normalise(z)
+    def _evaluate_batch(self, Z: np.ndarray):
+        k, M = self.k, self.nobjs
+        Y = self._normalise(Z)
         # t1: shift distance params.
-        t = y.copy()
-        t[k:] = s_linear(y[k:], 0.35)
+        T = Y.copy()
+        T[:, k:] = s_linear(Y[:, k:], 0.35)
         # t2: flat region on distance params.
-        t[k:] = b_flat(t[k:], 0.8, 0.75, 0.85)
+        T[:, k:] = b_flat(T[:, k:], 0.8, 0.75, 0.85)
         # t3: polynomial bias everywhere.
-        t = b_poly(t, 0.02)
+        T = b_poly(T, 0.02)
         # t4: weighted-sum reduction to M params.
-        t = self._weighted_sum_reduction(t)
+        T = self._weighted_sum_reduction(T)
 
-        def shapes(x, m):
+        def shapes(X, m):
             if m < M:
-                return shape_convex(x, m, M)
-            return shape_mixed(x, alpha=1.0, A=5.0)
+                return shape_convex_rows(X, m, M)
+            return shape_mixed_rows(X, alpha=1.0, A=5.0)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG2(_WFG):
@@ -305,20 +379,20 @@ class WFG2(_WFG):
     def _needs_even_l(cls) -> bool:
         return True
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         k, M = self.k, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
-        t[k:] = s_linear(y[k:], 0.35)
-        t = self._even_pair_reduction(t)
-        t = self._reduce_after_pairing(t)
+        Y = self._normalise(Z)
+        T = Y.copy()
+        T[:, k:] = s_linear(Y[:, k:], 0.35)
+        T = self._even_pair_reduction(T)
+        T = self._reduce_after_pairing(T)
 
-        def shapes(x, m):
+        def shapes(X, m):
             if m < M:
-                return shape_convex(x, m, M)
-            return shape_disc(x, alpha=1.0, beta=1.0, A=5.0)
+                return shape_convex_rows(X, m, M)
+            return shape_disc_rows(X, alpha=1.0, beta=1.0, A=5.0)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG3(_WFG):
@@ -330,89 +404,89 @@ class WFG3(_WFG):
     def _needs_even_l(cls) -> bool:
         return True
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         k, M = self.k, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
-        t[k:] = s_linear(y[k:], 0.35)
-        t = self._even_pair_reduction(t)
-        t = self._reduce_after_pairing(t)
+        Y = self._normalise(Z)
+        T = Y.copy()
+        T[:, k:] = s_linear(Y[:, k:], 0.35)
+        T = self._even_pair_reduction(T)
+        T = self._reduce_after_pairing(T)
 
-        def shapes(x, m):
-            return shape_linear(x, m, M)
+        def shapes(X, m):
+            return shape_linear_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG4(_WFG):
     """Highly multi-modal, concave front."""
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         M = self.nobjs
-        y = self._normalise(z)
-        t = s_multi(y, 30.0, 10.0, 0.35)
-        t = self._uniform_sum_reduction(t)
+        Y = self._normalise(Z)
+        T = s_multi(Y, 30.0, 10.0, 0.35)
+        T = self._uniform_sum_reduction(T)
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG5(_WFG):
     """Deceptive, concave front."""
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         M = self.nobjs
-        y = self._normalise(z)
-        t = s_decept(y, 0.35, 0.001, 0.05)
-        t = self._uniform_sum_reduction(t)
+        Y = self._normalise(Z)
+        T = s_decept(Y, 0.35, 0.001, 0.05)
+        T = self._uniform_sum_reduction(T)
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG6(_WFG):
     """Non-separable reduction, concave front."""
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         k, n, M = self.k, self.nvars, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
-        t[k:] = s_linear(y[k:], 0.35)
-        out = np.empty(M)
+        Y = self._normalise(Z)
+        T = Y.copy()
+        T[:, k:] = s_linear(Y[:, k:], 0.35)
+        out = np.empty((Z.shape[0], M))
         gap = k // (M - 1)
         for m in range(1, M):
             lo, hi = (m - 1) * gap, m * gap
-            out[m - 1] = r_nonsep(t[lo:hi], gap)
-        out[M - 1] = r_nonsep(t[k:n], n - k)
-        t = out
+            out[:, m - 1] = r_nonsep_rows(T[:, lo:hi], gap)
+        out[:, M - 1] = r_nonsep_rows(T[:, k:n], n - k)
+        T = out
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG7(_WFG):
     """Parameter-dependent bias on position params, concave front."""
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
-        k, n, M = self.k, self.nvars, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
+    def _evaluate_batch(self, Z: np.ndarray):
+        k, M = self.k, self.nobjs
+        Y = self._normalise(Z)
+        T = Y.copy()
         for i in range(k):
-            u = r_sum(y[i + 1 :], np.ones(n - i - 1))
-            t[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0)
-        t[k:] = s_linear(t[k:], 0.35)
-        t = self._uniform_sum_reduction(t)
+            u = r_mean_rows(Y[:, i + 1 :])
+            T[:, i] = b_param(Y[:, i], u, 0.98 / 49.98, 0.02, 50.0)
+        T[:, k:] = s_linear(T[:, k:], 0.35)
+        T = self._uniform_sum_reduction(T)
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG8(_WFG):
@@ -437,20 +511,20 @@ class WFG8(_WFG):
             y[i] = 0.35 ** (1.0 / exponent)
         return y * self.upper
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         k, n, M = self.k, self.nvars, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
+        Y = self._normalise(Z)
+        T = Y.copy()
         for i in range(k, n):
-            u = r_sum(y[:i], np.ones(i))
-            t[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0)
-        t[k:] = s_linear(t[k:], 0.35)
-        t = self._uniform_sum_reduction(t)
+            u = r_mean_rows(Y[:, :i])
+            T[:, i] = b_param(Y[:, i], u, 0.98 / 49.98, 0.02, 50.0)
+        T[:, k:] = s_linear(T[:, k:], 0.35)
+        T = self._uniform_sum_reduction(T)
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class WFG9(_WFG):
@@ -477,28 +551,28 @@ class WFG9(_WFG):
             y[i] = 0.35 ** (1.0 / exponent)
         return y * self.upper
 
-    def _evaluate(self, z: np.ndarray) -> np.ndarray:
+    def _evaluate_batch(self, Z: np.ndarray):
         k, n, M = self.k, self.nvars, self.nobjs
-        y = self._normalise(z)
-        t = y.copy()
+        Y = self._normalise(Z)
+        T = Y.copy()
         for i in range(n - 1):
-            u = r_sum(y[i + 1 :], np.ones(n - i - 1))
-            t[i] = b_param(y[i], u, 0.98 / 49.98, 0.02, 50.0)
-        t2 = t.copy()
-        t2[:k] = s_decept(t[:k], 0.35, 0.001, 0.05)
-        t2[k:] = s_multi(t[k:], 30.0, 95.0, 0.35)
-        out = np.empty(M)
+            u = r_mean_rows(Y[:, i + 1 :])
+            T[:, i] = b_param(Y[:, i], u, 0.98 / 49.98, 0.02, 50.0)
+        T2 = T.copy()
+        T2[:, :k] = s_decept(T[:, :k], 0.35, 0.001, 0.05)
+        T2[:, k:] = s_multi(T[:, k:], 30.0, 95.0, 0.35)
+        out = np.empty((Z.shape[0], M))
         gap = k // (M - 1)
         for m in range(1, M):
             lo, hi = (m - 1) * gap, m * gap
-            out[m - 1] = r_nonsep(t2[lo:hi], gap)
-        out[M - 1] = r_nonsep(t2[k:n], n - k)
-        t = out
+            out[:, m - 1] = r_nonsep_rows(T2[:, lo:hi], gap)
+        out[:, M - 1] = r_nonsep_rows(T2[:, k:n], n - k)
+        T = out
 
-        def shapes(x, m):
-            return shape_concave(x, m, M)
+        def shapes(X, m):
+            return shape_concave_rows(X, m, M)
 
-        return self._objectives_from(t, shapes)
+        return self._objectives_from(T, shapes), None
 
 
 class UF13(WFG1):

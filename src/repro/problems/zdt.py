@@ -32,6 +32,11 @@ class ZDT1(_ZDT):
         f1 = x[0]
         return np.array([f1, g * (1.0 - np.sqrt(f1 / g))])
 
+    def _evaluate_batch(self, X: np.ndarray):
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
+        f1 = X[:, 0]
+        return np.stack([f1, g * (1.0 - np.sqrt(f1 / g))], axis=1), None
+
 
 class ZDT2(_ZDT):
     """Concave front: f2 = 1 - f1^2."""
@@ -43,6 +48,11 @@ class ZDT2(_ZDT):
         g = 1.0 + 9.0 * np.mean(x[1:])
         f1 = x[0]
         return np.array([f1, g * (1.0 - (f1 / g) ** 2)])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
+        f1 = X[:, 0]
+        return np.stack([f1, g * (1.0 - (f1 / g) ** 2)], axis=1), None
 
 
 class ZDT3(_ZDT):
@@ -56,6 +66,12 @@ class ZDT3(_ZDT):
         f1 = x[0]
         h = 1.0 - np.sqrt(f1 / g) - (f1 / g) * np.sin(10.0 * np.pi * f1)
         return np.array([f1, g * h])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        g = 1.0 + 9.0 * np.mean(X[:, 1:], axis=1)
+        f1 = X[:, 0]
+        h = 1.0 - np.sqrt(f1 / g) - (f1 / g) * np.sin(10.0 * np.pi * f1)
+        return np.stack([f1, g * h], axis=1), None
 
 
 class ZDT4(_ZDT):
@@ -77,6 +93,16 @@ class ZDT4(_ZDT):
         f1 = x[0]
         return np.array([f1, g * (1.0 - np.sqrt(f1 / g))])
 
+    def _evaluate_batch(self, X: np.ndarray):
+        tail = X[:, 1:]
+        g = (
+            1.0
+            + 10.0 * tail.shape[1]
+            + np.sum(tail**2 - 10.0 * np.cos(4.0 * np.pi * tail), axis=1)
+        )
+        f1 = X[:, 0]
+        return np.stack([f1, g * (1.0 - np.sqrt(f1 / g))], axis=1), None
+
 
 class ZDT6(_ZDT):
     """Nonuniformly distributed front with biased density."""
@@ -84,7 +110,16 @@ class ZDT6(_ZDT):
     def __init__(self, nvars: int = 10) -> None:
         super().__init__(nvars)
 
+    # np.power (not the ** operator) on both paths: np.float64.__pow__
+    # rounds differently from the power ufunc, and the batch path must
+    # match the scalar path bit for bit.
     def _evaluate(self, x: np.ndarray) -> np.ndarray:
-        f1 = 1.0 - np.exp(-4.0 * x[0]) * np.sin(6.0 * np.pi * x[0]) ** 6
-        g = 1.0 + 9.0 * np.mean(x[1:]) ** 0.25
+        f1 = 1.0 - np.exp(-4.0 * x[0]) * np.power(np.sin(6.0 * np.pi * x[0]), 6)
+        g = 1.0 + 9.0 * np.power(np.mean(x[1:]), 0.25)
         return np.array([f1, g * (1.0 - (f1 / g) ** 2)])
+
+    def _evaluate_batch(self, X: np.ndarray):
+        x0 = X[:, 0]
+        f1 = 1.0 - np.exp(-4.0 * x0) * np.power(np.sin(6.0 * np.pi * x0), 6)
+        g = 1.0 + 9.0 * np.power(np.mean(X[:, 1:], axis=1), 0.25)
+        return np.stack([f1, g * (1.0 - (f1 / g) ** 2)], axis=1), None

@@ -75,6 +75,22 @@ class TestThreadsBackend:
         )
         assert result.observed["tf"].count >= 100
 
+    @pytest.mark.parametrize("sync", [False, True])
+    def test_batched_dispatch_completes(self, small_config, sync):
+        result = run_threaded_master_slave(
+            small_problem(), 3, 130, config=small_config, seed=1,
+            sync=sync, batch_size=8,
+        )
+        assert result.nfe == 130
+        assert result.worker_evaluations.sum() == 130
+        assert len(result.borg.archive) > 0
+
+    def test_batch_size_validation(self, small_config):
+        with pytest.raises(ValueError):
+            run_threaded_master_slave(
+                small_problem(), 3, 10, config=small_config, batch_size=0
+            )
+
 
 @pytest.mark.skipif(sys.platform == "win32", reason="fork start method")
 class TestProcessBackend:
@@ -86,9 +102,20 @@ class TestProcessBackend:
         assert len(result.borg.archive) > 0
         assert result.worker_evaluations.sum() >= 150
 
+    def test_batched_dispatch_completes(self, small_config):
+        result = run_process_master_slave(
+            small_problem(), 3, 130, config=small_config, seed=1, batch_size=8
+        )
+        assert result.nfe == 130
+        assert result.worker_evaluations.sum() == 130
+
     def test_validation(self, small_config):
         with pytest.raises(ValueError):
             run_process_master_slave(small_problem(), 1, 10, config=small_config)
+        with pytest.raises(ValueError):
+            run_process_master_slave(
+                small_problem(), 3, 10, config=small_config, batch_size=0
+            )
 
 
 class TestOptimizeFacade:
