@@ -96,6 +96,24 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--tc", type=float, default=6e-6)
     bounds.add_argument("--ta", type=float, required=True)
     bounds.add_argument("--batch", type=int, default=1)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="predict async/sync runtimes over the Table II grid via the "
+        "parallel sweep runner (results identical for any --workers)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size (default 0 = one per CPU; 1 = serial)",
+    )
+    sweep.add_argument("--seed", type=int, default=20130520)
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="small grid (DTLZ2 only, P up to 256) for smoke tests",
+    )
+    sweep.add_argument("--nfe", type=int, default=100_000,
+                       help="evaluation budget per operating point")
+    sweep.add_argument("--csv", type=str, default=None)
     return parser
 
 
@@ -183,6 +201,78 @@ def _cmd_bounds(args) -> int:
     return 0
 
 
+def _sweep_cell(problem: str, tf: float, p: int, nfe: int, seed):
+    """One sweep operating point: predicted async and sync runtimes.
+
+    Module-level so the process pool can pickle it by reference;
+    ``seed`` is the cell's own child SeedSequence (see
+    :func:`repro.experiments.sweep.spawn_seeds`).
+    """
+    from repro.models.simmodel import predict_async_time, predict_sync_time
+    from repro.stats.timing import ranger_timing
+
+    # Rebuild the SeedSequence from its identity so the result is a pure
+    # function of (entropy, spawn_key) -- independent of any spawn state
+    # the object accumulated in a previous use of the same cell.
+    seed = np.random.SeedSequence(
+        entropy=seed.entropy, spawn_key=seed.spawn_key
+    )
+    timing = ranger_timing(problem, p, tf)
+    t_async = predict_async_time(p, nfe, timing, seed=seed)
+    t_sync = predict_sync_time(p, nfe, timing, seed=seed)
+    return (problem, tf, p, t_async, t_sync)
+
+
+def _cmd_sweep(args) -> int:
+    import time
+
+    from repro.experiments.reporting import format_table, write_csv
+    from repro.experiments.sweep import resolve_workers, run_cells, spawn_seeds
+
+    if args.quick:
+        problems, p_grid = ("DTLZ2",), (16, 64, 256)
+    else:
+        problems = ("DTLZ2", "UF11")
+        p_grid = (16, 32, 64, 128, 256, 512, 1024)
+    tf_values = (0.001, 0.01, 0.1)
+
+    points = [
+        (problem, tf, p)
+        for problem in problems
+        for tf in tf_values
+        for p in p_grid
+    ]
+    # One independent child seed per cell: results are a pure function
+    # of (--seed, cell index), identical for every --workers value.
+    seeds = spawn_seeds(args.seed, len(points))
+    cells = [
+        (problem, tf, p, args.nfe, seeds[i])
+        for i, (problem, tf, p) in enumerate(points)
+    ]
+
+    workers = resolve_workers(args.workers)
+    print(
+        f"Prediction sweep: {len(cells)} operating points, N={args.nfe}, "
+        f"{workers} worker(s)"
+    )
+    start = time.perf_counter()
+    rows = run_cells(_sweep_cell, cells, workers=workers)
+    elapsed = time.perf_counter() - start
+
+    headers = ("Problem", "TF", "P", "AsyncTime", "SyncTime", "AsyncAdvantage")
+    table = [
+        (problem, tf, p, f"{ta_:.3f}", f"{ts_:.3f}", f"{ts_ / ta_:5.2f}x")
+        for problem, tf, p, ta_, ts_ in rows
+    ]
+    print(format_table(headers, table, title="Predicted runtimes (simulation model)"))
+    print(f"\nswept {len(cells)} cells in {elapsed:.2f}s "
+          f"({len(cells) / elapsed:.1f} cells/s)")
+    if args.csv:
+        write_csv(args.csv, headers[:5], [r for r in rows])
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -190,6 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "fit": _cmd_fit,
         "bounds": _cmd_bounds,
+        "sweep": _cmd_sweep,
     }[args.command]
     return handler(args)
 

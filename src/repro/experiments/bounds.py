@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..models.analytical import processor_lower_bound, processor_upper_bound
 from ..stats.timing import RANGER_TC_SECONDS, TABLE2_TA_MEANS, ta_mean_for
 from .reporting import format_table, write_csv
+from .sweep import run_cells
 
 __all__ = ["BoundsRow", "generate", "main", "HEADERS"]
 
@@ -55,23 +56,26 @@ class BoundsRow:
         )
 
 
-def generate(tc: float = RANGER_TC_SECONDS) -> list[BoundsRow]:
-    rows = []
-    for problem, anchors in TABLE2_TA_MEANS.items():
-        for tf in _TF_VALUES:
-            for p in sorted(anchors):
-                ta = ta_mean_for(problem, p)
-                rows.append(
-                    BoundsRow(
-                        problem=problem,
-                        tf=tf,
-                        processors=p,
-                        ta=ta,
-                        upper_bound=processor_upper_bound(tf, tc, ta),
-                        lower_bound=processor_lower_bound(tf, tc, ta),
-                    )
-                )
-    return rows
+def _bounds_row(problem: str, tf: float, p: int, tc: float) -> BoundsRow:
+    ta = ta_mean_for(problem, p)
+    return BoundsRow(
+        problem=problem,
+        tf=tf,
+        processors=p,
+        ta=ta,
+        upper_bound=processor_upper_bound(tf, tc, ta),
+        lower_bound=processor_lower_bound(tf, tc, ta),
+    )
+
+
+def generate(tc: float = RANGER_TC_SECONDS, workers: int = 1) -> list[BoundsRow]:
+    cells = [
+        (problem, tf, p, tc)
+        for problem, anchors in TABLE2_TA_MEANS.items()
+        for tf in _TF_VALUES
+        for p in sorted(anchors)
+    ]
+    return run_cells(_bounds_row, cells, workers=workers)
 
 
 def main(argv=None) -> list[BoundsRow]:
@@ -79,9 +83,12 @@ def main(argv=None) -> list[BoundsRow]:
 
     parser = argparse.ArgumentParser(description="Eq. 3/4 bounds tables")
     parser.add_argument("--csv", type=str, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (0 = one per CPU)"
+    )
     args = parser.parse_args(argv)
 
-    rows = generate()
+    rows = generate(workers=args.workers)
     print(
         format_table(
             HEADERS,

@@ -112,6 +112,13 @@ def scale_from_args(argv=None, default: str = "ci"):
     )
     parser.add_argument("--seed", type=int, default=20130520)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the replicate grid (0 = one per CPU; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
         "--csv", type=str, default=None, help="also write results to this CSV file"
     )
     args = parser.parse_args(argv)

@@ -27,6 +27,7 @@ from ..models.simmodel import predict_async_time
 from ..stats.distributions import Constant, TruncatedNormal
 from ..stats.timing import TimingModel
 from .reporting import ascii_heatmap, write_csv
+from .sweep import run_cells
 
 __all__ = ["EfficiencySurfaces", "generate", "main", "DEFAULT_TF_GRID", "DEFAULT_P_GRID"]
 
@@ -77,6 +78,33 @@ class EfficiencySurfaces:
         return result
 
 
+def _async_eff_cell(
+    tf: float, p: int, ta: float, tc: float, nfe: int, seed: int
+) -> float:
+    """Asynchronous efficiency for one (TF, P) cell.
+
+    Module-level (picklable) so :func:`~repro.experiments.sweep.run_cells`
+    can fan the grid out; the timing model is rebuilt from primitives in
+    the worker process.
+    """
+    timing = TimingModel(
+        t_f=TruncatedNormal.from_mean_cv(tf, 0.1),
+        t_c=Constant(tc),
+        t_a=Constant(ta),
+        label=f"fig5 tf={tf:g}",
+    )
+    # Efficiency is intensive, so each cell may use its own N; scale
+    # with P so every worker completes many cycles and the pipeline-fill
+    # transient is negligible (steady-state extrapolation handles the
+    # tail).
+    nfe_cell = max(nfe, 200 * (p - 1))
+    tp = predict_async_time(
+        p, nfe_cell, timing, seed=seed, sim_nfe=max(2000, 4 * (p - 1))
+    )
+    ts_cell = serial_time(nfe_cell, tf, ta)
+    return ts_cell / (p * tp) if tp > 0 else 0.0
+
+
 def generate(
     tf_values=DEFAULT_TF_GRID,
     processors=DEFAULT_P_GRID,
@@ -85,31 +113,25 @@ def generate(
     nfe: int = 4000,
     seed: int = 20130520,
     verbose: bool = True,
+    workers: int = 1,
 ) -> EfficiencySurfaces:
     sync_grid = np.empty((len(tf_values), len(processors)))
     async_grid = np.empty_like(sync_grid)
+    cells = []
     for i, tf in enumerate(tf_values):
-        if verbose:
-            print(f"  TF = {tf:.4g} s ...")
         sync_model = SynchronousModel(tf=tf, tc=tc, ta=ta)
-        timing = TimingModel(
-            t_f=TruncatedNormal.from_mean_cv(tf, 0.1),
-            t_c=Constant(tc),
-            t_a=Constant(ta),
-            label=f"fig5 tf={tf:g}",
-        )
         for j, p in enumerate(processors):
             sync_grid[i, j] = sync_model.efficiency(nfe, p)
-            # Efficiency is intensive, so each cell may use its own N;
-            # scale with P so every worker completes many cycles and the
-            # pipeline-fill transient is negligible (steady-state
-            # extrapolation handles the tail).
-            nfe_cell = max(nfe, 200 * (p - 1))
-            tp = predict_async_time(
-                p, nfe_cell, timing, seed=seed, sim_nfe=max(2000, 4 * (p - 1))
-            )
-            ts_cell = serial_time(nfe_cell, tf, ta)
-            async_grid[i, j] = ts_cell / (p * tp) if tp > 0 else 0.0
+            cells.append((tf, p, ta, tc, nfe, seed))
+
+    def _progress(index, cell, _result):
+        if verbose and index % len(processors) == 0:
+            print(f"  TF = {cell[0]:.4g} s ...")
+
+    flat = run_cells(
+        _async_eff_cell, cells, workers=workers, on_result=_progress
+    )
+    async_grid[:] = np.asarray(flat).reshape(async_grid.shape)
     return EfficiencySurfaces(
         tf_values=tuple(tf_values),
         processors=tuple(processors),
@@ -132,6 +154,9 @@ def main(argv=None) -> EfficiencySurfaces:
     )
     parser.add_argument("--nfe", type=int, default=4000)
     parser.add_argument("--seed", type=int, default=20130520)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (0 = one per CPU)"
+    )
     parser.add_argument("--csv", type=str, default=None)
     args = parser.parse_args(argv)
 
@@ -139,7 +164,9 @@ def main(argv=None) -> EfficiencySurfaces:
     print(
         f"Figure 5 reproduction (TA={ta:g}s, TC={tc:g}s, N={args.nfe})\n"
     )
-    surfaces = generate(ta=ta, tc=tc, nfe=args.nfe, seed=args.seed)
+    surfaces = generate(
+        ta=ta, tc=tc, nfe=args.nfe, seed=args.seed, workers=args.workers
+    )
 
     # Rows printed high TF at the top, matching the published axes.
     row_labels = [f"{tf:.0e}" for tf in surfaces.tf_values][::-1]

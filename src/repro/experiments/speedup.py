@@ -31,6 +31,7 @@ from ..parallel.virtual import run_async_master_slave
 from ..stats.timing import ranger_timing, ta_mean_for
 from .config import PROBLEM_FACTORIES, ExperimentScale
 from .reporting import format_table, write_csv
+from .sweep import run_cells
 
 __all__ = ["SpeedupSurface", "generate", "main", "DEFAULT_THRESHOLDS"]
 
@@ -122,6 +123,31 @@ def _parallel_attainment(
     return _nanmean_rows(per_rep)
 
 
+def _metric_for(problem_name: str, scale: ExperimentScale) -> NormalizedHypervolume:
+    # Deterministic (fixed internal seed), so a metric rebuilt in a pool
+    # worker is identical to one shared across the serial loop.
+    return NormalizedHypervolume(
+        PROBLEM_FACTORIES[problem_name](),
+        method="monte-carlo",
+        samples=scale.hv_samples,
+    )
+
+
+def _parallel_cell(
+    problem_name: str,
+    tf: float,
+    processors: int,
+    scale: ExperimentScale,
+    thresholds: tuple,
+    seed: int,
+) -> np.ndarray:
+    """One processor-count series, self-contained for the process pool."""
+    metric = _metric_for(problem_name, scale)
+    return _parallel_attainment(
+        problem_name, tf, processors, scale, metric, thresholds, seed
+    )
+
+
 def generate(
     scale: ExperimentScale,
     problem_name: str,
@@ -129,25 +155,28 @@ def generate(
     seed: int = 20130520,
     thresholds=DEFAULT_THRESHOLDS,
     verbose: bool = True,
+    workers: int = 1,
 ) -> SpeedupSurface:
     """One subplot of Figure 3/4: all processor series for one TF."""
-    metric = NormalizedHypervolume(
-        PROBLEM_FACTORIES[problem_name](),
-        method="monte-carlo",
-        samples=scale.hv_samples,
-    )
+    metric = _metric_for(problem_name, scale)
     if verbose:
         print(f"  serial baseline ({problem_name}, TF={tf:g}) ...")
     serial_times = _serial_attainment(
         problem_name, tf, scale, metric, thresholds, seed
     )
-    parallel = np.full((len(scale.processors), len(thresholds)), np.nan)
-    for i, p in enumerate(scale.processors):
+    thresholds = tuple(thresholds)
+
+    def _progress(_i, cell, _result):
         if verbose:
-            print(f"  parallel P={p} ...")
-        parallel[i] = _parallel_attainment(
-            problem_name, tf, p, scale, metric, thresholds, seed
-        )
+            print(f"  parallel P={cell[2]} ...")
+
+    series = run_cells(
+        _parallel_cell,
+        [(problem_name, tf, p, scale, thresholds, seed) for p in scale.processors],
+        workers=workers,
+        on_result=_progress,
+    )
+    parallel = np.vstack(series)
     return SpeedupSurface(
         problem=problem_name,
         tf=tf,
@@ -171,7 +200,9 @@ def main(argv=None) -> list[SpeedupSurface]:
         figure = "Figure 3" if problem == "DTLZ2" else "Figure 4"
         for tf in scale.tf_values:
             print(f"{figure}: {problem}, TF = {tf:g}")
-            surface = generate(scale, problem, tf, seed=args.seed)
+            surface = generate(
+                scale, problem, tf, seed=args.seed, workers=args.workers
+            )
             surfaces.append(surface)
             rows = surface.as_rows()
             all_rows.extend(rows)

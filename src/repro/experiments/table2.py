@@ -28,6 +28,7 @@ from ..stats.descriptive import relative_error
 from ..stats.timing import ranger_timing
 from .config import PROBLEM_FACTORIES, ExperimentScale, SCALES
 from .reporting import format_table, write_csv
+from .sweep import run_cells
 
 __all__ = ["Table2Row", "run_point", "generate", "main", "HEADERS"]
 
@@ -145,22 +146,32 @@ def run_point(
     )
 
 
+def _progress(_i, _cell, row: Table2Row) -> None:
+    print(
+        f"  {row.problem:>6} TF={row.tf:<6g} P={row.processors:<5d} "
+        f"time={row.time:8.3f}s eff={row.efficiency:5.2f} "
+        f"analytical err={row.analytical_error:4.0%} "
+        f"simulation err={row.simulation_error:4.0%}"
+    )
+
+
 def generate(
-    scale: ExperimentScale, seed: int = 20130520, verbose: bool = True
+    scale: ExperimentScale,
+    seed: int = 20130520,
+    verbose: bool = True,
+    workers: int = 1,
 ) -> list[Table2Row]:
-    """All rows of the table at the given scale."""
-    rows = []
-    for problem, tf, p in scale.iter_points():
-        row = run_point(problem, tf, p, scale, seed)
-        rows.append(row)
-        if verbose:
-            print(
-                f"  {problem:>6} TF={tf:<6g} P={p:<5d} "
-                f"time={row.time:8.3f}s eff={row.efficiency:5.2f} "
-                f"analytical err={row.analytical_error:4.0%} "
-                f"simulation err={row.simulation_error:4.0%}"
-            )
-    return rows
+    """All rows of the table at the given scale.
+
+    ``workers > 1`` fans the grid out over a process pool; every cell
+    carries its own seed, so results are identical to the serial run.
+    """
+    cells = [
+        (problem, tf, p, scale, seed) for problem, tf, p in scale.iter_points()
+    ]
+    return run_cells(
+        run_point, cells, workers=workers, on_result=_progress if verbose else None
+    )
 
 
 def main(argv=None) -> list[Table2Row]:
@@ -171,7 +182,7 @@ def main(argv=None) -> list[Table2Row]:
         f"Table II reproduction -- scale={scale.name} "
         f"(N={scale.nfe}, {scale.replicates} replicate(s))\n"
     )
-    rows = generate(scale, seed=args.seed)
+    rows = generate(scale, seed=args.seed, workers=args.workers)
     print()
     print(
         format_table(

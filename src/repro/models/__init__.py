@@ -24,6 +24,7 @@ from .cantupaz import (
     sync_speedup,
 )
 from .compare import ModelComparison, compare_models
+from .fastsim import simulate_async_fast, simulate_sync_fast
 from .faults import FaultyOutcome, simulate_async_with_failures
 from .queueing import QueueingModel, RepairmanSolution, solve_repairman
 from .simmodel import (
@@ -31,7 +32,9 @@ from .simmodel import (
     predict_async_time,
     predict_sync_time,
     simulate_async,
+    simulate_async_reference,
     simulate_sync,
+    simulate_sync_reference,
 )
 
 __all__ = [
@@ -50,6 +53,10 @@ __all__ = [
     "SimulationOutcome",
     "simulate_async",
     "simulate_sync",
+    "simulate_async_reference",
+    "simulate_sync_reference",
+    "simulate_async_fast",
+    "simulate_sync_fast",
     "predict_async_time",
     "predict_sync_time",
     "ModelComparison",

@@ -13,6 +13,17 @@ contention: when results arrive faster than the master can turn them
 around, workers queue, which is exactly the regime (small TF, large P)
 where Table II shows the analytical model failing.
 
+Two implementations coexist behind the :mod:`repro.fastpath` toggle:
+
+* the discrete-event **reference** (:func:`simulate_async_reference` /
+  :func:`simulate_sync_reference`), kept as the executable
+  specification;
+* the **vectorized kernel** (:mod:`repro.models.fastsim`), a sequential
+  recurrence over pre-sampled NumPy blocks that produces the identical
+  :class:`SimulationOutcome` on a shared seed (both paths draw through
+  :class:`~repro.stats.timing.TimingSampler`, so per-component streams
+  line up no matter how draws interleave in event time).
+
 The module also provides steady-state extrapolation so Ranger-scale
 runs (N = 100,000, P = 16,384) are predicted from a truncated
 simulation in milliseconds rather than simulating every evaluation.
@@ -21,14 +32,25 @@ simulation in milliseconds rather than simulating every evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from .. import fastpath
 from ..simkit import Environment, Resource
-from ..stats.timing import TimingModel
+from ..stats.timing import TimingModel, TimingSampler
 
-__all__ = ["SimulationOutcome", "simulate_async", "simulate_sync", "predict_async_time", "predict_sync_time"]
+__all__ = [
+    "SimulationOutcome",
+    "simulate_async",
+    "simulate_sync",
+    "simulate_async_reference",
+    "simulate_sync_reference",
+    "predict_async_time",
+    "predict_sync_time",
+]
+
+Seed = Union[int, np.random.SeedSequence, None]
 
 
 @dataclass(frozen=True)
@@ -59,11 +81,46 @@ def simulate_async(
     processors: int,
     max_nfe: int,
     timing: TimingModel,
-    seed: Optional[int] = None,
+    seed: Seed = None,
 ) -> SimulationOutcome:
     """Simulate the asynchronous master-slave pipeline for ``max_nfe``
     evaluations; no algorithm state, only sampled holds.
+
+    Dispatches to the vectorized kernel when the fast path is enabled
+    (the default); ``REPRO_FASTPATH=0`` restores the simkit reference.
     """
+    if fastpath.enabled():
+        from .fastsim import simulate_async_fast
+
+        return simulate_async_fast(processors, max_nfe, timing, seed=seed)
+    return simulate_async_reference(processors, max_nfe, timing, seed=seed)
+
+
+def simulate_sync(
+    processors: int,
+    max_nfe: int,
+    timing: TimingModel,
+    seed: Seed = None,
+) -> SimulationOutcome:
+    """Simulate the synchronous (generational) pipeline: dispatch P-1,
+    master evaluates one itself, barrier, P sequential TA holds.
+
+    Dispatches like :func:`simulate_async`.
+    """
+    if fastpath.enabled():
+        from .fastsim import simulate_sync_fast
+
+        return simulate_sync_fast(processors, max_nfe, timing, seed=seed)
+    return simulate_sync_reference(processors, max_nfe, timing, seed=seed)
+
+
+def simulate_async_reference(
+    processors: int,
+    max_nfe: int,
+    timing: TimingModel,
+    seed: Seed = None,
+) -> SimulationOutcome:
+    """The discrete-event reference implementation of the async model."""
     if processors < 2:
         raise ValueError("need at least 2 processors")
     if max_nfe < 1:
@@ -71,7 +128,7 @@ def simulate_async(
 
     env = Environment()
     master = Resource(env, capacity=1)
-    rng = np.random.default_rng(seed)
+    sampler = TimingSampler(timing, seed)
     done = env.event()
     state = {"nfe": 0}
     quarter = max(1, max_nfe // 4)
@@ -81,19 +138,15 @@ def simulate_async(
         # Initial dispatch: master generates (TA) and sends (TC).
         with master.request() as req:
             yield req
-            yield env.timeout(timing.sample_ta(rng) + timing.sample_tc(rng))
+            yield env.timeout(sampler.ta() + sampler.tc())
         while not done.triggered:
-            yield env.timeout(timing.sample_tf(rng))
+            yield env.timeout(sampler.tf())
             with master.request() as req:
                 yield req
                 if done.triggered:
                     return
                 # The paper's hold: sampleTc() + sampleTa() + sampleTc().
-                yield env.timeout(
-                    timing.sample_tc(rng)
-                    + timing.sample_ta(rng)
-                    + timing.sample_tc(rng)
-                )
+                yield env.timeout(sampler.tc() + sampler.ta() + sampler.tc())
                 state["nfe"] += 1
                 if state["nfe"] % quarter == 0:
                     checkpoints.append((state["nfe"], env.now))
@@ -117,14 +170,13 @@ def simulate_async(
     )
 
 
-def simulate_sync(
+def simulate_sync_reference(
     processors: int,
     max_nfe: int,
     timing: TimingModel,
-    seed: Optional[int] = None,
+    seed: Seed = None,
 ) -> SimulationOutcome:
-    """Simulate the synchronous (generational) pipeline: dispatch P-1,
-    master evaluates one itself, barrier, P sequential TA holds."""
+    """The discrete-event reference implementation of the sync model."""
     if processors < 2:
         raise ValueError("need at least 2 processors")
     if max_nfe < 1:
@@ -132,16 +184,16 @@ def simulate_sync(
 
     env = Environment()
     master = Resource(env, capacity=1)
-    rng = np.random.default_rng(seed)
+    sampler = TimingSampler(timing, seed)
     state = {"nfe": 0}
     quarter = max(1, max_nfe // 4)
     checkpoints: list[tuple[int, float]] = []
 
     def worker_generation(env: Environment, done_ev):
-        yield env.timeout(timing.sample_tf(rng))
+        yield env.timeout(sampler.tf())
         with master.request() as req:
             yield req
-            yield env.timeout(timing.sample_tc(rng))
+            yield env.timeout(sampler.tc())
         done_ev.succeed(None)
 
     def master_proc(env: Environment):
@@ -150,16 +202,16 @@ def simulate_sync(
             with master.request() as req:
                 yield req
                 for _ in range(processors - 1):
-                    yield env.timeout(timing.sample_tc(rng))
+                    yield env.timeout(sampler.tc())
                     ev = env.event()
                     env.process(worker_generation(env, ev))
                     done_events.append(ev)
-                yield env.timeout(timing.sample_tf(rng))
+                yield env.timeout(sampler.tf())
             yield env.all_of(done_events)
             with master.request() as req:
                 yield req
                 for _ in range(processors):
-                    yield env.timeout(timing.sample_ta(rng))
+                    yield env.timeout(sampler.ta())
                     state["nfe"] += 1
                     if state["nfe"] % quarter == 0:
                         checkpoints.append((state["nfe"], env.now))
@@ -184,29 +236,42 @@ def simulate_sync(
 def _extrapolate(outcome: SimulationOutcome, target_nfe: int) -> float:
     """Project a truncated simulation to ``target_nfe`` evaluations
     using the steady-state rate between the first and last checkpoint
-    (discarding the pipeline-fill transient)."""
+    (discarding the pipeline-fill transient).
+
+    Degenerate checkpoint sets -- fewer than two checkpoints, zero NFE
+    progress between the first and last, or non-advancing clocks -- fall
+    back to straight proportional scaling, and a simulation that made no
+    progress at all (``nfe == 0``) cannot be extrapolated.
+    """
+    if target_nfe <= 0:
+        raise ValueError("target_nfe must be positive")
     if outcome.nfe >= target_nfe:
         return outcome.elapsed
+    if outcome.nfe <= 0:
+        raise ValueError(
+            "cannot extrapolate from a simulation with zero completed NFE"
+        )
     if len(outcome.checkpoints) >= 2:
         (n0, t0), (n1, t1) = outcome.checkpoints[0], outcome.checkpoints[-1]
-        if n1 > n0:
+        if n1 > n0 and t1 >= t0:
             rate = (t1 - t0) / (n1 - n0)
             return t1 + rate * (target_nfe - n1)
-    return outcome.elapsed * target_nfe / max(1, outcome.nfe)
+    return outcome.elapsed * target_nfe / outcome.nfe
 
 
 def predict_async_time(
     processors: int,
     nfe: int,
     timing: TimingModel,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     sim_nfe: Optional[int] = None,
 ) -> float:
     """Predicted asynchronous runtime for ``nfe`` evaluations.
 
     Simulates ``sim_nfe`` evaluations (default: enough for every worker
     to cycle ~8 times, at least 2,000) and extrapolates at the
-    steady-state throughput.
+    steady-state throughput.  Routed through the vectorized kernel via
+    :func:`simulate_async` whenever the fast path is enabled.
     """
     budget = sim_nfe or max(2000, 8 * (processors - 1))
     outcome = simulate_async(processors, min(nfe, budget), timing, seed=seed)
@@ -217,7 +282,7 @@ def predict_sync_time(
     processors: int,
     nfe: int,
     timing: TimingModel,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     sim_nfe: Optional[int] = None,
 ) -> float:
     """Predicted synchronous runtime for ``nfe`` evaluations."""

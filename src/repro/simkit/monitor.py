@@ -69,41 +69,75 @@ class SeriesMonitor:
 
     ``record(t, v)`` declares that the series took value ``v`` from time
     ``t`` onward.  :meth:`time_average` integrates the step function.
+
+    With ``record=False`` the per-event history is *not* stored: the
+    monitor keeps only the running integral and the latest sample, so
+    memory stays O(1) no matter how many events a large-P reference
+    simulation produces.  :meth:`time_average` and :attr:`last` are
+    unchanged; only the raw ``times``/``values`` trajectories are
+    unavailable (they stay empty).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record: bool = True) -> None:
+        self.keep_history = record
         self.times: list[float] = []
         self.values: list[float] = []
+        self.count = 0
+        self._t0: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self._last_value = 0.0
+        self._integral = 0.0
 
     def record(self, time: float, value: float) -> None:
-        if self.times and time < self.times[-1]:
+        if self._last_time is not None and time < self._last_time:
             raise ValueError(
-                f"non-monotone time {time} after {self.times[-1]}"
+                f"non-monotone time {time} after {self._last_time}"
             )
-        self.times.append(time)
-        self.values.append(value)
+        if self.keep_history:
+            self.times.append(time)
+            self.values.append(value)
+        if self._t0 is None:
+            self._t0 = time
+        else:
+            self._integral += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+        self.count += 1
 
     def time_average(self, until: Optional[float] = None) -> float:
         """Time-weighted mean of the series on ``[t0, until]``."""
-        if not self.times:
+        if self._t0 is None:
             return 0.0
-        end = self.times[-1] if until is None else until
-        total = 0.0
-        duration = end - self.times[0]
+        end = self._last_time if until is None else until
+        duration = end - self._t0
         if duration <= 0:
-            return self.values[-1]
-        for i in range(len(self.times)):
-            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
-            if t_next > end:
-                t_next = end
-            span = t_next - self.times[i]
-            if span > 0:
-                total += self.values[i] * span
+            return self._last_value
+        total = self._integral
+        # The final sample extends (or is clipped) to ``end``.
+        tail = end - self._last_time
+        if tail > 0:
+            total += self._last_value * tail
+        elif tail < 0 and not self.keep_history:
+            raise ValueError(
+                "time_average(until=<before last sample>) needs the stored "
+                "trajectory; construct SeriesMonitor(record=True)"
+            )
+        elif tail < 0:
+            # ``until`` falls before the last sample: re-integrate the
+            # stored trajectory up to ``end`` (requires history).
+            total = 0.0
+            for i in range(len(self.times)):
+                t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+                if t_next > end:
+                    t_next = end
+                span = t_next - self.times[i]
+                if span > 0:
+                    total += self.values[i] * span
         return total / duration
 
     @property
     def last(self) -> float:
-        return self.values[-1] if self.values else 0.0
+        return self._last_value if self._last_time is not None else 0.0
 
 
 class SpanTracker:
@@ -112,11 +146,19 @@ class SpanTracker:
     Used to regenerate the Figure 1/2 timeline data: each ``begin`` /
     ``end`` pair contributes a labelled span, and idle time is whatever
     is left over.
+
+    With ``record=False`` individual spans are not stored -- only the
+    per-label and overall totals -- so memory is O(#labels) rather than
+    O(#spans).  The timeline (:attr:`spans`) stays empty in that mode.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, record: bool = True) -> None:
+        self.keep_history = record
         self.spans: list[tuple[float, float, str]] = []
         self._open: Optional[tuple[float, str]] = None
+        self._totals: dict[str, float] = {}
+        self._busy = 0.0
+        self.count = 0
 
     def begin(self, time: float, label: str) -> None:
         if self._open is not None:
@@ -129,15 +171,20 @@ class SpanTracker:
         start, label = self._open
         if time < start:
             raise ValueError("span ends before it starts")
-        self.spans.append((start, time, label))
+        if self.keep_history:
+            self.spans.append((start, time, label))
+        duration = time - start
+        self._totals[label] = self._totals.get(label, 0.0) + duration
+        self._busy += duration
+        self.count += 1
         self._open = None
 
     def total(self, label: str) -> float:
         """Total duration spent in spans with ``label``."""
-        return sum(end - start for start, end, lbl in self.spans if lbl == label)
+        return self._totals.get(label, 0.0)
 
     def busy_total(self) -> float:
-        return sum(end - start for start, end, _ in self.spans)
+        return self._busy
 
     def idle_total(self, horizon: float) -> float:
         """Idle time over ``[0, horizon]`` (time not in any span)."""

@@ -18,7 +18,7 @@ between the published anchors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from .distributions import Constant, Distribution, LogNormal, TruncatedNormal
 
 __all__ = [
     "TimingModel",
+    "TimingSampler",
     "TABLE2_TA_MEANS",
     "RANGER_TC_SECONDS",
     "ta_mean_for",
@@ -125,6 +126,101 @@ class TimingModel:
             Constant(self.mean_ta),
             label=f"{self.label}[const]",
         )
+
+
+class _ComponentStream:
+    """One pre-drawn block of samples from a single distribution.
+
+    Draws are taken from a private :class:`numpy.random.Generator` in
+    blocks of ``block`` and handed out one (or ``n``) at a time, so the
+    i-th value consumed is a pure function of (distribution, seed, i) --
+    independent of how draws of *other* components interleave with it.
+    """
+
+    __slots__ = ("_dist", "_rng", "_block", "_buf", "_pos")
+
+    def __init__(self, dist: Distribution, rng: np.random.Generator, block: int) -> None:
+        self._dist = dist
+        self._rng = rng
+        self._block = int(block)
+        self._buf = np.empty(0)
+        self._pos = 0
+
+    def _refill(self, need: int) -> None:
+        size = max(self._block, need)
+        fresh = np.asarray(self._dist.sample(self._rng, size), dtype=float)
+        left = self._buf[self._pos:]
+        self._buf = np.concatenate([left, fresh]) if left.size else fresh
+        self._pos = 0
+
+    def take(self) -> float:
+        """One sample."""
+        if self._pos >= self._buf.size:
+            self._refill(1)
+        v = self._buf[self._pos]
+        self._pos += 1
+        return float(v)
+
+    def take_array(self, n: int) -> np.ndarray:
+        """The next ``n`` samples as an array (same stream as ``n``
+        successive :meth:`take` calls)."""
+        if self._pos + n > self._buf.size:
+            self._refill(n)
+        out = self._buf[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+
+class TimingSampler:
+    """Batched sampling of (TF, TC, TA) from independent child streams.
+
+    The discrete-event reference model and the vectorized fast kernel
+    consume timing draws in very different orders (per event vs. in
+    blocks).  Drawing all three components from one generator would make
+    the two paths see permuted values; instead each component gets its
+    own child stream spawned deterministically from the seed, so the
+    k-th TA (or TC, or TF) drawn is identical on both paths and parity
+    is exact by construction.
+
+    ``block`` controls the pre-draw granularity: larger blocks amortize
+    the per-call NumPy dispatch overhead over more samples.
+    """
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        seed: Union[int, np.random.SeedSequence, None] = None,
+        block: int = 4096,
+    ) -> None:
+        if not isinstance(seed, np.random.SeedSequence):
+            seed = np.random.SeedSequence(seed)
+        self.seed_sequence = seed
+        # Spawn order is part of the determinism contract: (tf, tc, ta).
+        ss_tf, ss_tc, ss_ta = seed.spawn(3)
+        self._tf = _ComponentStream(timing.t_f, np.random.default_rng(ss_tf), block)
+        self._tc = _ComponentStream(timing.t_c, np.random.default_rng(ss_tc), block)
+        self._ta = _ComponentStream(timing.t_a, np.random.default_rng(ss_ta), block)
+        self.timing = timing
+
+    # -- scalar draws (reference model's per-event consumption) --------
+    def tf(self) -> float:
+        return self._tf.take()
+
+    def tc(self) -> float:
+        return self._tc.take()
+
+    def ta(self) -> float:
+        return self._ta.take()
+
+    # -- block draws (vectorized kernel's consumption) ------------------
+    def tf_array(self, n: int) -> np.ndarray:
+        return self._tf.take_array(n)
+
+    def tc_array(self, n: int) -> np.ndarray:
+        return self._tc.take_array(n)
+
+    def ta_array(self, n: int) -> np.ndarray:
+        return self._ta.take_array(n)
 
 
 def ranger_timing(

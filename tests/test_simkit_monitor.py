@@ -128,3 +128,65 @@ class TestSpanTracker:
         assert t.total("tc") == pytest.approx(1.0)
         assert t.total("ta") == pytest.approx(3.0)
         assert t.total("tf") == 0.0
+
+
+class TestNoRecordFastMode:
+    """record=False keeps summary statistics without per-event history."""
+
+    def test_series_memory_bounded(self):
+        lean = SeriesMonitor(record=False)
+        full = SeriesMonitor()
+        for i in range(10_000):
+            lean.record(float(i), float(i % 7))
+            full.record(float(i), float(i % 7))
+        # No trajectory retained ...
+        assert lean.times == []
+        assert lean.values == []
+        assert len(full.times) == 10_000
+        # ... but the reductions are identical.
+        assert lean.count == full.count == 10_000
+        assert lean.last == full.last
+        assert lean.time_average() == pytest.approx(full.time_average())
+        assert lean.time_average(until=20_000.0) == pytest.approx(
+            full.time_average(until=20_000.0)
+        )
+
+    def test_series_no_record_still_validates_monotonicity(self):
+        mon = SeriesMonitor(record=False)
+        mon.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            mon.record(4.0, 2.0)
+
+    def test_series_no_record_rejects_backdated_until(self):
+        mon = SeriesMonitor(record=False)
+        mon.record(0.0, 1.0)
+        mon.record(10.0, 3.0)
+        with pytest.raises(ValueError, match="record=True"):
+            mon.time_average(until=5.0)
+
+    def test_series_with_history_backdated_until(self):
+        mon = SeriesMonitor()
+        mon.record(0.0, 1.0)
+        mon.record(10.0, 3.0)
+        # value 1 held over [0, 5] -> average 1.
+        assert mon.time_average(until=5.0) == pytest.approx(1.0)
+
+    def test_span_tracker_memory_bounded(self):
+        lean = SpanTracker(record=False)
+        full = SpanTracker()
+        t = 0.0
+        for i in range(5_000):
+            label = "send" if i % 2 else "recv"
+            lean.begin(t, label)
+            full.begin(t, label)
+            t += 1.5
+            lean.end(t)
+            full.end(t)
+            t += 0.5
+        assert lean.spans == []
+        assert len(full.spans) == 5_000
+        assert lean.count == full.count == 5_000
+        for label in ("send", "recv"):
+            assert lean.total(label) == pytest.approx(full.total(label))
+        assert lean.busy_total() == pytest.approx(full.busy_total())
+        assert lean.idle_total(t) == pytest.approx(full.idle_total(t))

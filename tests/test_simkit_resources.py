@@ -226,3 +226,85 @@ class TestPriorityResource:
         env.process(enqueue(env))
         env.run()
         assert log == ["a", "b", "c"]
+
+
+class TestHeavyContention:
+    """Paper-scale contention: hundreds of waiters on one slot."""
+
+    def test_many_waiters_fifo_order(self):
+        env = Environment()
+        res = Resource(env)
+        n = 500
+        log = []
+
+        def worker(env, idx):
+            with res.request() as req:
+                yield req
+                log.append(idx)
+                yield env.timeout(1)
+
+        for idx in range(n):
+            env.process(worker(env, idx))
+        env.run()
+        assert log == list(range(n))
+        assert res.granted_count == n
+        assert res.max_queue_length == n - 1
+
+    def test_queue_stats_under_burst(self):
+        env = Environment()
+        res = Resource(env)
+        n = 200
+
+        def worker(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(2)
+
+        for _ in range(n):
+            env.process(worker(env))
+        env.run()
+        # waits: 0, 2, 4, ..., 2(n-1) -> mean = n-1
+        assert res.mean_wait() == pytest.approx(float(n - 1))
+        assert res.busy_time == pytest.approx(2.0 * n)
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_max_queue_matches_fast_kernel(self):
+        """The reference engine's queue-length statistic agrees with the
+        vectorized kernel's ``master_max_queue`` on a shared seed."""
+        from repro.models.fastsim import simulate_async_fast
+        from repro.models.simmodel import simulate_async_reference
+        from repro.stats.timing import ranger_timing
+
+        for tf_mean in (1e-6, 3e-5, 1e-1):
+            timing = ranger_timing("DTLZ2", 64, tf_mean)
+            ref = simulate_async_reference(48, 400, timing, seed=99)
+            fast = simulate_async_fast(48, 400, timing, seed=99)
+            assert ref.master_max_queue == fast.master_max_queue
+            assert ref.master_mean_wait == pytest.approx(
+                fast.master_mean_wait, rel=1e-9, abs=1e-15
+            )
+
+    def test_deque_cancel_still_works_under_load(self):
+        env = Environment()
+        res = Resource(env)
+        outcome = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env, idx):
+            req = res.request()
+            timeout = env.timeout(1 + idx * 0.01)
+            result = yield env.any_of([req, timeout])
+            if req not in result:
+                req.cancel()
+                outcome.append(idx)
+
+        env.process(holder(env))
+        for idx in range(50):
+            env.process(impatient(env, idx))
+        env.run()
+        assert outcome == list(range(50))
+        assert res.queue_length == 0

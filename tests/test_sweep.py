@@ -1,0 +1,138 @@
+"""Tests for the deterministic parallel sweep runner and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import bounds, table2
+from repro.experiments.config import SCALES, scale_from_args
+from repro.experiments.sweep import resolve_workers, run_cells, spawn_seeds
+
+
+def _square(x):
+    return x * x
+
+
+def _seeded_draw(entropy_seed):
+    rng = np.random.default_rng(entropy_seed)
+    return float(rng.standard_normal())
+
+
+class TestRunCells:
+    def test_serial_matches_inline(self):
+        cells = [(i,) for i in range(10)]
+        assert run_cells(_square, cells, workers=1) == [i * i for i in range(10)]
+
+    def test_parallel_matches_serial(self):
+        cells = [(i,) for i in range(12)]
+        serial = run_cells(_square, cells, workers=1)
+        parallel = run_cells(_square, cells, workers=2)
+        assert serial == parallel
+
+    def test_seeded_cells_identical_across_worker_counts(self):
+        # The determinism contract: cells carry their own seeds, so the
+        # pool size never changes a result.
+        cells = [(1000 + i,) for i in range(8)]
+        one = run_cells(_seeded_draw, cells, workers=1)
+        two = run_cells(_seeded_draw, cells, workers=2)
+        four = run_cells(_seeded_draw, cells, workers=4)
+        assert one == two == four
+
+    def test_on_result_called_in_order(self):
+        seen = []
+        run_cells(
+            _square,
+            [(i,) for i in range(5)],
+            workers=2,
+            on_result=lambda i, cell, r: seen.append((i, cell[0], r)),
+        )
+        assert seen == [(i, i, i * i) for i in range(5)]
+
+    def test_empty_and_single_cell(self):
+        assert run_cells(_square, [], workers=4) == []
+        assert run_cells(_square, [(3,)], workers=4) == [9]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(5) == 5
+        assert resolve_workers(-2) == 1
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestSpawnSeeds:
+    def test_children_are_distinct_and_stable(self):
+        a = spawn_seeds(42, 5)
+        b = spawn_seeds(42, 5)
+        assert len(a) == 5
+        for sa, sb in zip(a, b):
+            assert sa.spawn_key == sb.spawn_key
+            ra = np.random.default_rng(sa).random(4)
+            rb = np.random.default_rng(sb).random(4)
+            assert ra.tolist() == rb.tolist()
+        streams = [np.random.default_rng(s).random() for s in a]
+        assert len(set(streams)) == 5
+
+    def test_accepts_seed_sequence(self):
+        root = np.random.SeedSequence(7)
+        kids = spawn_seeds(root, 3)
+        assert len(kids) == 3
+
+
+class TestExperimentSweeps:
+    def test_bounds_parallel_matches_serial(self):
+        serial = bounds.generate(workers=1)
+        parallel = bounds.generate(workers=2)
+        assert serial == parallel
+
+    def test_table2_smoke_parallel_matches_serial(self):
+        scale = SCALES["smoke"]
+        # One cheap operating point, both ways.
+        small = type(scale)(
+            **{
+                **scale.__dict__,
+                "processors": (16,),
+                "tf_values": (0.01,),
+                "nfe": 400,
+            }
+        )
+        serial = table2.generate(small, seed=11, verbose=False, workers=1)
+        parallel = table2.generate(small, seed=11, verbose=False, workers=2)
+        assert serial == parallel
+
+    def test_workers_flag_parsed(self):
+        scale, args = scale_from_args(["--scale", "smoke", "--workers", "3"])
+        assert args.workers == 3
+        assert scale.name == "smoke"
+
+
+class TestSweepCLI:
+    def test_quick_sweep_smoke(self, capsys):
+        from repro.cli import main
+
+        rc = main(["sweep", "--quick", "--workers", "1", "--nfe", "20000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "DTLZ2" in out
+        assert "swept 9 cells" in out
+
+    def test_sweep_worker_invariance(self, capsys):
+        from repro.cli import main
+
+        def grid_lines(workers):
+            main(["sweep", "--quick", "--workers", str(workers),
+                  "--nfe", "20000"])
+            out = capsys.readouterr().out
+            return [line for line in out.splitlines() if "DTLZ2" in line]
+
+        assert grid_lines(1) == grid_lines(2)
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "sweep.csv"
+        rc = main(["sweep", "--quick", "--workers", "1", "--nfe", "20000",
+                   "--csv", str(path)])
+        capsys.readouterr()
+        assert rc == 0
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 10  # header + 9 cells
