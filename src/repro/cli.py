@@ -79,6 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--tf", type=float, default=0.01,
                        help="mean TF for virtual backends (seconds)")
     solve.add_argument("--seed", type=int, default=None)
+    solve.add_argument("--checkpoint", type=str, default=None,
+                       help="write engine checkpoints to this file "
+                       "(serial/threads/processes backends)")
+    solve.add_argument("--checkpoint-interval", type=int, default=None,
+                       help="evaluations between checkpoints "
+                       "(default: the config snapshot interval)")
+    solve.add_argument("--resume", type=str, default=None,
+                       help="resume a run from a checkpoint file "
+                       "(--seed is ignored; RNG state comes from the file)")
 
     exp = sub.add_parser("experiment", help="regenerate a table/figure")
     exp.add_argument("name", choices=_EXPERIMENTS)
@@ -114,6 +123,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--nfe", type=int, default=100_000,
                        help="evaluation budget per operating point")
     sweep.add_argument("--csv", type=str, default=None)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-tolerance demo: run the process backend under "
+        "injected worker crashes and compare the measured degradation "
+        "against the failure-injected simulation model",
+    )
+    chaos.add_argument("--problem", choices=sorted(_PROBLEMS), default="dtlz2")
+    chaos.add_argument("--nfe", type=int, default=1200)
+    chaos.add_argument("--processors", type=int, default=4)
+    chaos.add_argument("--tf", type=float, default=0.002,
+                       help="mean evaluation time (seconds)")
+    chaos.add_argument("--crash-rate", type=float, default=0.05,
+                       help="per-evaluation worker crash probability")
+    chaos.add_argument("--seed", type=int, default=20130520)
     return parser
 
 
@@ -141,6 +165,9 @@ def _cmd_solve(args) -> int:
         processors=args.processors,
         timing=timing,
         seed=args.seed,
+        checkpoint=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
     )
     borg = result if hasattr(result, "archive") else result.borg
     print(f"Archive: {len(borg.archive)} solutions, "
@@ -273,6 +300,95 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Measured-vs-modeled fault tolerance (docs/RESILIENCE.md §5).
+
+    Four runs share one :class:`~repro.models.ChaosSummary` schema: the
+    real process backend healthy and under injected crashes, and the
+    failure-injected simulation model at the matching operating point
+    (worker MTBF = TF / crash_rate: a worker that crashes with
+    probability ``r`` per evaluation survives ``1/r`` evaluations of
+    ``TF`` seconds each on average).
+    """
+    from repro.experiments.reporting import format_table
+    from repro.models import (
+        simulate_async_with_failures,
+        summarize_run,
+        throughput_degradation,
+    )
+    from repro.parallel import SupervisorConfig, run_process_master_slave
+    from repro.problems import FaultyProblem, TimedProblem
+    from repro.stats import constant_timing
+
+    if not 0.0 < args.crash_rate < 1.0:
+        raise SystemExit("--crash-rate must be in (0, 1)")
+    if args.tf <= 0:
+        raise SystemExit("--tf must be positive")
+    sup = SupervisorConfig(
+        poll_interval=0.02,
+        task_timeout=max(0.25, 30.0 * args.tf),
+        respawn=True,
+    )
+
+    def timed(chaos: bool):
+        prob = TimedProblem(
+            _PROBLEMS[args.problem](), args.tf,
+            real_delay=True, seed=args.seed,
+        )
+        if chaos:
+            prob = FaultyProblem(
+                prob, crash_rate=args.crash_rate, seed=args.seed
+            )
+        return prob
+
+    print(f"Chaos run: {args.problem} N={args.nfe} P={args.processors} "
+          f"TF={args.tf:g}s crash_rate={args.crash_rate:g}")
+    healthy = run_process_master_slave(
+        timed(False), args.processors, args.nfe,
+        seed=args.seed, supervisor=sup,
+    )
+    chaotic = run_process_master_slave(
+        timed(True), args.processors, args.nfe,
+        seed=args.seed, supervisor=sup,
+    )
+
+    timing = constant_timing(tf=args.tf, tc=6e-6, ta=30e-6, label="chaos")
+    mtbf = args.tf / args.crash_rate
+    repair = 2.0 * sup.backoff_base  # respawn latency: backoff, then fork
+    sim_healthy = simulate_async_with_failures(
+        args.processors, args.nfe, timing, mtbf=1e12, seed=args.seed
+    )
+    sim_chaotic = simulate_async_with_failures(
+        args.processors, args.nfe, timing,
+        mtbf=mtbf, repair=repair, seed=args.seed,
+    )
+
+    rows = [
+        summarize_run(healthy, "measured-healthy"),
+        summarize_run(chaotic, "measured-chaos"),
+        sim_healthy.summary("model-healthy"),
+        sim_chaotic.summary("model-chaos"),
+    ]
+    headers = ("Source", "P", "NFE", "Elapsed", "Evals/s",
+               "Failures", "Recoveries", "Lost/Redisp")
+    table = [
+        (s.source, s.processors, s.nfe, f"{s.elapsed:.3f}",
+         f"{s.throughput:.1f}", s.failures, s.recoveries,
+         s.lost_or_redispatched)
+        for s in rows
+    ]
+    print(format_table(headers, table, title="Measured vs modeled degradation"))
+    measured = throughput_degradation(rows[0], rows[1])
+    modeled = throughput_degradation(rows[2], rows[3])
+    print(f"\nThroughput degradation under chaos: "
+          f"measured {measured:+.1%}, model predicts {modeled:+.1%}")
+    print(f"Supervisor: failures_detected={chaotic.failures_detected} "
+          f"tasks_redispatched={chaotic.tasks_redispatched} "
+          f"results_quarantined={chaotic.results_quarantined} "
+          f"workers_respawned={chaotic.faults.workers_respawned}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -281,6 +397,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fit": _cmd_fit,
         "bounds": _cmd_bounds,
         "sweep": _cmd_sweep,
+        "chaos": _cmd_chaos,
     }[args.command]
     return handler(args)
 

@@ -9,6 +9,13 @@ operator ensemble and the adaptive machinery.
 from .adaptation import OperatorSelector
 from .archive import AddResult, EpsilonBoxArchive
 from .borg import BorgConfig, BorgEngine, BorgMOEA, BorgResult
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
 from .dominance import (
     constrained_compare,
     epsilon_box_compare,
@@ -37,6 +44,11 @@ __all__ = [
     "BorgEngine",
     "BorgMOEA",
     "BorgResult",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_engine",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
     "RunHistory",
     "Snapshot",
     "NSGAII",

@@ -310,6 +310,27 @@ class BorgMOEA:
             operators=operators,
         )
 
+    @classmethod
+    def from_checkpoint(
+        cls,
+        problem: Problem,
+        path,
+        config: Optional[BorgConfig] = None,
+        operators: Optional[Sequence[Variator]] = None,
+    ) -> "BorgMOEA":
+        """Rebuild a driver from a checkpoint file (see
+        :mod:`repro.core.checkpoint`); :meth:`run` then continues the
+        interrupted run bit-identically."""
+        from .checkpoint import restore_engine
+
+        moea = cls.__new__(cls)
+        moea.problem = problem
+        moea.engine = restore_engine(
+            problem, path, config=config, operators=operators
+        )
+        moea.config = moea.engine.config
+        return moea
+
     def step(self) -> Solution:
         """One steady-state iteration: generate, evaluate, ingest."""
         candidate = self.engine.next_candidate()
@@ -317,10 +338,26 @@ class BorgMOEA:
         self.engine.ingest(candidate)
         return candidate
 
-    def run(self, max_nfe: int, history: Optional[RunHistory] = None) -> BorgResult:
-        """Run until ``max_nfe`` evaluations have completed."""
+    def run(
+        self,
+        max_nfe: int,
+        history: Optional[RunHistory] = None,
+        checkpoint=None,
+        checkpoint_interval: Optional[int] = None,
+    ) -> BorgResult:
+        """Run until ``max_nfe`` evaluations have completed.
+
+        ``checkpoint`` names a file to serialize full engine state to
+        every ``checkpoint_interval`` evaluations (default: the
+        snapshot interval) and once more at completion, enabling
+        :meth:`from_checkpoint` resume.
+        """
         if max_nfe < 1:
             raise ValueError("max_nfe must be >= 1")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        ckpt_every = checkpoint_interval or self.config.snapshot_interval
+        last_checkpoint_nfe = self.engine.nfe
         hist = history or RunHistory(
             snapshot_interval=self.config.snapshot_interval
         )
@@ -355,6 +392,14 @@ class BorgMOEA:
                 engine.archive._objectives,
                 engine.restarts,
             )
+            if (
+                checkpoint is not None
+                and engine.nfe - last_checkpoint_nfe >= ckpt_every
+            ):
+                self._save_checkpoint(checkpoint, max_nfe)
+                last_checkpoint_nfe = engine.nfe
+        if checkpoint is not None and engine.nfe > last_checkpoint_nfe:
+            self._save_checkpoint(checkpoint, max_nfe)
         hist.maybe_record(
             engine.nfe,
             float("nan"),
@@ -365,3 +410,10 @@ class BorgMOEA:
         hist.total_nfe = engine.nfe
         hist.total_restarts = engine.restarts
         return engine.result(hist)
+
+    def _save_checkpoint(self, path, max_nfe: int) -> None:
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(
+            self.engine, path, meta={"backend": "serial", "max_nfe": max_nfe}
+        )

@@ -25,7 +25,13 @@ from .cantupaz import (
 )
 from .compare import ModelComparison, compare_models
 from .fastsim import simulate_async_fast, simulate_sync_fast
-from .faults import FaultyOutcome, simulate_async_with_failures
+from .faults import (
+    ChaosSummary,
+    FaultyOutcome,
+    simulate_async_with_failures,
+    summarize_run,
+    throughput_degradation,
+)
 from .queueing import QueueingModel, RepairmanSolution, solve_repairman
 from .simmodel import (
     SimulationOutcome,
@@ -63,6 +69,9 @@ __all__ = [
     "compare_models",
     "FaultyOutcome",
     "simulate_async_with_failures",
+    "ChaosSummary",
+    "summarize_run",
+    "throughput_degradation",
     "QueueingModel",
     "RepairmanSolution",
     "solve_repairman",

@@ -28,7 +28,79 @@ import numpy as np
 from ..simkit import Environment, Interrupt, Resource
 from ..stats.timing import TimingModel
 
-__all__ = ["FaultyOutcome", "simulate_async_with_failures"]
+__all__ = [
+    "ChaosSummary",
+    "FaultyOutcome",
+    "simulate_async_with_failures",
+    "summarize_run",
+    "throughput_degradation",
+]
+
+
+@dataclass(frozen=True)
+class ChaosSummary:
+    """One row of the measured-vs-modeled chaos report.
+
+    A common schema for a real chaos-injected backend run (see
+    :func:`summarize_run`) and a failure-injected simulation (see
+    :meth:`FaultyOutcome.summary`), so ``repro chaos`` can lay both out
+    side by side.
+    """
+
+    source: str
+    elapsed: float
+    nfe: int
+    processors: int
+    failures: int
+    recoveries: int
+    lost_or_redispatched: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed evaluations per second (wall or virtual)."""
+        return self.nfe / self.elapsed if self.elapsed > 0 else 0.0
+
+    def as_row(self) -> tuple:
+        return (
+            self.source,
+            self.processors,
+            self.nfe,
+            self.elapsed,
+            self.throughput,
+            self.failures,
+            self.recoveries,
+            self.lost_or_redispatched,
+        )
+
+
+def summarize_run(result, source: str = "measured") -> ChaosSummary:
+    """Summarize a :class:`~repro.parallel.ParallelRunResult`.
+
+    Duck-typed so :mod:`repro.models` needs no import of
+    :mod:`repro.parallel`: any object with ``elapsed``, ``nfe``,
+    ``processors``, ``failures_detected``, ``tasks_redispatched`` and a
+    ``faults.workers_respawned`` counter qualifies.
+    """
+    return ChaosSummary(
+        source=source,
+        elapsed=float(result.elapsed),
+        nfe=int(result.nfe),
+        processors=int(result.processors),
+        failures=int(result.failures_detected),
+        recoveries=int(result.faults.workers_respawned),
+        lost_or_redispatched=int(result.tasks_redispatched),
+    )
+
+
+def throughput_degradation(baseline: ChaosSummary, faulty: ChaosSummary) -> float:
+    """Fractional throughput loss of ``faulty`` relative to ``baseline``.
+
+    0.0 means no degradation, 0.25 means the faulty run completed
+    evaluations 25% slower; NaN when the baseline throughput is zero.
+    """
+    if baseline.throughput <= 0:
+        return float("nan")
+    return 1.0 - faulty.throughput / baseline.throughput
 
 
 @dataclass(frozen=True)
@@ -49,6 +121,18 @@ class FaultyOutcome:
         if self.elapsed <= 0:
             return float("nan")
         return serial_time / (self.processors * self.elapsed)
+
+    def summary(self, source: str = "simulated") -> ChaosSummary:
+        """This outcome in the shared measured-vs-modeled schema."""
+        return ChaosSummary(
+            source=source,
+            elapsed=self.elapsed,
+            nfe=self.nfe,
+            processors=self.processors,
+            failures=self.failures,
+            recoveries=self.recoveries,
+            lost_or_redispatched=self.lost_evaluations,
+        )
 
 
 def simulate_async_with_failures(

@@ -12,6 +12,7 @@ Backends:
 
 from .results import ParallelRunResult
 from .runner import BACKENDS, optimize
+from .supervision import FaultStats, NoLiveWorkersError, SupervisorConfig
 from .threads import run_threaded_master_slave
 from .processes import run_process_master_slave
 from .topology import (
@@ -28,6 +29,9 @@ __all__ = [
     "ParallelRunResult",
     "optimize",
     "BACKENDS",
+    "SupervisorConfig",
+    "FaultStats",
+    "NoLiveWorkersError",
     "run_async_master_slave",
     "run_sync_master_slave",
     "run_threaded_master_slave",

@@ -3,14 +3,27 @@
 Workers are separate OS processes communicating over multiprocessing
 queues -- the closest local analogue of the paper's MPI ranks.  The
 problem object is pickled once to each worker at startup; each task
-message carries only the decision vector, and each result only the
-objective/constraint vectors, mirroring the constant-payload messages
+message carries only the decision vectors, and each result only the
+objective/constraint blocks, mirroring the constant-payload messages
 whose cost the paper measured as TC.
+
+The master is *supervised* (docs/RESILIENCE.md): instead of blocking
+forever on ``results.get()``, it receives with a bounded timeout and
+sweeps the pool for dead workers (``Process.is_alive()``) and blown
+per-task deadlines on every expiry.  Lost in-flight tasks are
+re-dispatched with exactly-once ingestion (task-id dedup keeps NFE
+accounting exact), dead workers are respawned with capped exponential
+backoff (or the pool shrinks gracefully when respawn is off), worker
+replies are validated and quarantined when corrupt, and a fully
+extinct pool raises :exc:`NoLiveWorkersError` instead of hanging.
+Each worker slot owns a private task queue, so the master knows
+exactly which in-flight tasks died with a worker.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as pyqueue
 import time
 from typing import Optional
 
@@ -18,39 +31,118 @@ import numpy as np
 
 from .. import fastpath
 from ..core.borg import BorgConfig, BorgEngine
+from ..core.checkpoint import restore_engine, save_checkpoint
 from ..core.events import RunHistory
 from ..problems.base import Problem
 from .results import ParallelRunResult
+from .supervision import (
+    MSG_ERR,
+    MSG_OK,
+    FaultStats,
+    NoLiveWorkersError,
+    SupervisorConfig,
+    TaskTable,
+    assign_results,
+    validate_reply,
+)
 
 __all__ = ["run_process_master_slave"]
 
 
-def _worker_main(problem: Problem, tasks, results, wid: int) -> None:
-    """Worker process: evaluate blocks of decision vectors until
-    poisoned.  Each task is ``(task_id, X)`` with ``X`` an ``(n, nvars)``
-    block; the reply carries the matching objective/constraint blocks."""
+def _worker_main(problem: Problem, tasks, results, wid: int, generation: int = 0) -> None:
+    """Worker process: evaluate blocks of decision vectors until poisoned.
+
+    Each task is ``(task_id, X)`` with ``X`` an ``(n, nvars)`` block;
+    the reply is ``("ok", wid, task_id, F, C)``.  Per-task exceptions
+    are caught and reported as ``("err", wid, task_id, message)``
+    instead of killing the worker silently -- only a hard crash
+    (signal, ``os._exit``) takes the process down, and the master's
+    liveness sweep covers that case.
+    """
+    reseed = getattr(problem, "reseed_worker", None)
+    if callable(reseed):
+        reseed(wid, generation)
     while True:
         item = tasks.get()
         if item is None:
             return
         task_id, X = item
-        X = np.asarray(X, dtype=float)
-        if fastpath.enabled():
-            F, C = problem._evaluate_batch(X)
-        else:
-            F, C = problem._evaluate_batch_fallback(X)
-        if hasattr(problem, "real_delay") and problem.real_delay:
-            time.sleep(
-                sum(problem.sample_evaluation_time() for _ in range(X.shape[0]))
+        try:
+            X = np.asarray(X, dtype=float)
+            if fastpath.enabled():
+                F, C = problem._evaluate_batch(X)
+            else:
+                F, C = problem._evaluate_batch_fallback(X)
+            if hasattr(problem, "real_delay") and problem.real_delay:
+                time.sleep(
+                    sum(problem.sample_evaluation_time() for _ in range(X.shape[0]))
+                )
+            results.put(
+                (
+                    MSG_OK,
+                    wid,
+                    task_id,
+                    np.asarray(F, dtype=float),
+                    None if C is None else np.asarray(C, dtype=float),
+                )
             )
-        results.put(
-            (
-                wid,
-                task_id,
-                np.asarray(F, dtype=float),
-                None if C is None else np.asarray(C, dtype=float),
-            )
-        )
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:  # noqa: BLE001 -- structured error reply
+            try:
+                results.put(
+                    (MSG_ERR, wid, task_id, f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:
+                return
+            if isinstance(exc, SystemExit):
+                return
+
+
+def _drain_and_close(q) -> None:
+    """Drain a multiprocessing queue, close it, and join its feeder.
+
+    Stranded items keep the queue's feeder thread alive and can leave
+    zombie results pinned in the pipe after an interrupted run; a full
+    drain lets ``join_thread`` complete promptly.
+    """
+    try:
+        while True:
+            q.get_nowait()
+    except (pyqueue.Empty, OSError, ValueError, EOFError):
+        pass
+    try:
+        q.close()
+        q.join_thread()
+    except (OSError, ValueError, AssertionError):
+        try:
+            q.cancel_join_thread()
+        except Exception:
+            pass
+
+
+class _WorkerSlot:
+    """One supervised worker position (stable ``wid`` across respawns)."""
+
+    __slots__ = ("wid", "proc", "queue", "generation", "respawns", "respawn_at", "retired")
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.proc = None
+        self.queue = None
+        self.generation = 0
+        self.respawns = 0
+        #: Monotonic instant of the pending respawn (None = not pending).
+        self.respawn_at: Optional[float] = None
+        self.retired = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    @property
+    def awaiting_respawn(self) -> bool:
+        return not self.retired and self.proc is None and self.respawn_at is not None
 
 
 def run_process_master_slave(
@@ -62,14 +154,25 @@ def run_process_master_slave(
     snapshot_interval: Optional[int] = None,
     start_method: str = "fork",
     batch_size: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> ParallelRunResult:
-    """Asynchronous master-slave Borg on ``processors - 1`` worker
-    processes.  Requires a picklable problem (all built-ins are).
+    """Asynchronous master-slave Borg on ``processors - 1`` supervised
+    worker processes.  Requires a picklable problem (all built-ins are).
 
     ``batch_size`` > 1 packs that many decision vectors into each task
     message; workers evaluate the block with one vectorized pass and
     reply with the stacked objective/constraint matrices, cutting both
     queue round-trips and per-evaluation numpy overhead.
+
+    ``supervisor`` tunes fault handling (defaults are safe and cheap
+    for healthy runs).  ``checkpoint`` names a file to periodically
+    serialize full engine state to (every ``checkpoint_interval``
+    completed evaluations, default the snapshot interval); ``resume``
+    restores a previous checkpoint and continues toward ``max_nfe``
+    (``seed`` is then ignored -- the RNG state comes from the file).
     """
     if processors < 2:
         raise ValueError("need at least 2 processors (master + 1 worker)")
@@ -77,74 +180,239 @@ def run_process_master_slave(
         raise ValueError("max_nfe must be >= 1")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
+    if checkpoint_interval is not None and checkpoint_interval < 1:
+        raise ValueError("checkpoint_interval must be >= 1")
     cfg = config or BorgConfig()
-    engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
+    sup = supervisor or SupervisorConfig()
+    stats = FaultStats()
+    if resume is not None:
+        engine = restore_engine(problem, resume, config=config)
+        cfg = engine.config
+    else:
+        engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
     history = RunHistory(
         snapshot_interval=snapshot_interval or cfg.snapshot_interval
     )
+    ckpt_every = checkpoint_interval or cfg.snapshot_interval
+    last_checkpoint_nfe = engine.nfe
     nworkers = processors - 1
     ctx = mp.get_context(start_method)
-    tasks = ctx.Queue()
     results = ctx.Queue()
     worker_evals = np.zeros(nworkers, dtype=int)
-    in_flight: dict[int, object] = {}
-    next_task_id = 0
+    table = TaskTable()
+    #: Faulted tasks awaiting a live worker (dispatch backlog).
+    backlog: list = []
+    slots = [_WorkerSlot(w) for w in range(nworkers)]
 
-    procs = [
-        ctx.Process(
-            target=_worker_main, args=(problem, tasks, results, w), daemon=True
+    def spawn(slot: _WorkerSlot) -> None:
+        slot.queue = ctx.Queue()
+        slot.proc = ctx.Process(
+            target=_worker_main,
+            args=(problem, slot.queue, results, slot.wid, slot.generation),
+            daemon=True,
         )
-        for w in range(nworkers)
-    ]
-    start = time.perf_counter()
-    for p in procs:
-        p.start()
+        slot.respawn_at = None
+        slot.proc.start()
 
-    def in_flight_count() -> int:
-        return sum(len(group) for group in in_flight.values())
+    def live_slots() -> list[_WorkerSlot]:
+        return [s for s in slots if s.alive]
+
+    def assign(record) -> bool:
+        """Hand ``record`` to the least-loaded live worker; False if none."""
+        candidates = live_slots()
+        if not candidates:
+            backlog.append(record)
+            return False
+        slot = min(candidates, key=lambda s: len(table.assigned_to(s.wid)))
+        record.mark_dispatched(slot.wid, sup.task_timeout)
+        slot.queue.put(
+            (record.task_id, np.stack([c.variables for c in record.group]))
+        )
+        return True
 
     def dispatch(count: int) -> None:
-        nonlocal next_task_id
-        group = [engine.next_candidate() for _ in range(count)]
-        in_flight[next_task_id] = group
-        tasks.put(
-            (next_task_id, np.stack([c.variables for c in group]))
+        record = table.new([engine.next_candidate() for _ in range(count)])
+        assign(record)
+
+    def redispatch(record, why: str) -> None:
+        if record.dispatches >= sup.max_dispatches_per_task:
+            raise NoLiveWorkersError(
+                f"task {record.task_id} failed {record.dispatches} dispatches "
+                f"(last: {why}); giving up"
+            )
+        stats.tasks_redispatched += 1
+        assign(record)
+
+    def flush_backlog() -> None:
+        while backlog and live_slots():
+            assign(backlog.pop(0))
+
+    def retire_or_schedule_respawn(slot: _WorkerSlot, now: float) -> None:
+        can_respawn = sup.respawn and (
+            sup.max_respawns is None or slot.respawns < sup.max_respawns
         )
-        next_task_id += 1
+        if can_respawn:
+            slot.respawn_at = now + sup.backoff(slot.respawns)
+            slot.respawns += 1
+            slot.generation += 1
+        else:
+            slot.retired = True
+            slot.respawn_at = None
+
+    def handle_worker_death(slot: _WorkerSlot, why: str, now: float) -> None:
+        stats.failures_detected += 1
+        proc, task_queue = slot.proc, slot.queue
+        slot.proc = None
+        slot.queue = None
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        if task_queue is not None:
+            _drain_and_close(task_queue)
+        retire_or_schedule_respawn(slot, now)
+        # Everything assigned to this slot is presumed lost (queued tasks
+        # were drained above; the running one died with the worker).  The
+        # dedup table absorbs any reply the worker managed to send first.
+        for record in table.assigned_to(slot.wid):
+            record.wid = None
+            redispatch(record, why)
+
+    def supervise() -> None:
+        now = time.monotonic()
+        for slot in slots:
+            if slot.retired:
+                continue
+            if slot.proc is None:
+                if slot.respawn_at is not None and now >= slot.respawn_at:
+                    spawn(slot)
+                    stats.workers_respawned += 1
+                    flush_backlog()
+                continue
+            if not slot.proc.is_alive():
+                handle_worker_death(slot, "worker process died", now)
+        if sup.task_timeout is not None:
+            for record in table.expired(now):
+                # A death sweep above may already have re-dispatched this
+                # record (fresh deadline / backlog); re-check before acting.
+                if record.wid is None or (
+                    record.deadline is not None and now <= record.deadline
+                ):
+                    continue
+                # A blown deadline means the assigned worker is hung;
+                # kill it so its slot (and the task) can recover.
+                slot = slots[record.wid]
+                if slot.alive:
+                    handle_worker_death(slot, "task deadline exceeded", now)
+                else:
+                    record.wid = None
+                    redispatch(record, "task deadline exceeded")
+        if not any(s.alive or s.awaiting_respawn for s in slots):
+            raise NoLiveWorkersError(
+                f"all {nworkers} workers are dead and respawn is "
+                f"{'exhausted' if sup.respawn else 'disabled'} "
+                f"(nfe {engine.nfe}/{max_nfe})"
+            )
+
+    def maybe_checkpoint(force: bool = False) -> None:
+        nonlocal last_checkpoint_nfe
+        if checkpoint is None:
+            return
+        if not force and engine.nfe - last_checkpoint_nfe < ckpt_every:
+            return
+        in_flight = [c for r in table.records() for c in r.group]
+        save_checkpoint(
+            engine,
+            checkpoint,
+            extra_pending=in_flight,
+            meta={"backend": "processes", "max_nfe": max_nfe},
+        )
+        last_checkpoint_nfe = engine.nfe
+        stats.checkpoints_written += 1
+
+    start = time.perf_counter()
+    for slot in slots:
+        spawn(slot)
 
     try:
         for _ in range(nworkers):
-            remaining = max_nfe - engine.nfe - in_flight_count()
+            remaining = max_nfe - engine.nfe - table.candidates_in_flight()
             if remaining <= 0:
                 break
             dispatch(min(batch_size, remaining))
         while engine.nfe < max_nfe:
-            wid, task_id, F, C = results.get()
-            group = in_flight.pop(task_id)
-            for i, candidate in enumerate(group):
-                candidate.objectives = np.asarray(F[i], dtype=float)
-                if C is not None:
-                    candidate.constraints = np.asarray(C[i], dtype=float)
+            supervise()
+            try:
+                reply = results.get(timeout=sup.poll_interval)
+            except pyqueue.Empty:
+                continue
+            kind, wid, task_id = reply[0], reply[1], reply[2]
+            record = table.get(task_id)
+            if record is None:
+                stats.duplicate_results += 1
+                continue
+            if kind == MSG_ERR:
+                stats.worker_errors += 1
+                if record.wid != wid:
+                    # Stale error from a superseded dispatch; the live
+                    # re-dispatch is still in flight elsewhere.
+                    stats.duplicate_results += 1
+                    continue
+                stats.results_quarantined += 1
+                record.wid = None
+                redispatch(record, f"worker error: {reply[3]}")
+                continue
+            F, C = reply[3], reply[4]
+            if sup.validate:
+                reason = validate_reply(
+                    F, C, len(record.group), problem.nobjs, problem.nconstraints
+                )
+                if reason is not None:
+                    stats.results_quarantined += 1
+                    record.wid = None
+                    redispatch(record, f"invalid result: {reason}")
+                    continue
+            table.pop(task_id)
+            assign_results(record.group, F, C)
+            for candidate in record.group:
                 problem.evaluations += 1
                 engine.ingest(candidate)
-            worker_evals[wid] += len(group)
+            worker_evals[wid] += len(record.group)
             history.maybe_record(
                 engine.nfe,
                 time.perf_counter() - start,
                 engine.archive._objectives,
                 engine.restarts,
             )
-            remaining = max_nfe - engine.nfe - in_flight_count()
+            maybe_checkpoint()
+            remaining = max_nfe - engine.nfe - table.candidates_in_flight()
             if remaining > 0:
                 dispatch(min(batch_size, remaining))
+                flush_backlog()
     finally:
-        for _ in procs:
-            tasks.put(None)
-        for p in procs:
-            p.join(timeout=10.0)
-            if p.is_alive():
-                p.terminate()
+        for slot in slots:
+            if slot.alive:
+                try:
+                    slot.queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 10.0
+        for slot in slots:
+            if slot.proc is None:
+                continue
+            slot.proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if slot.proc.is_alive():
+                slot.proc.terminate()
+                slot.proc.join(timeout=1.0)
+        # Drain both directions and release the queue feeder threads so
+        # interrupted runs don't strand zombies (see docs/RESILIENCE.md).
+        for slot in slots:
+            if slot.queue is not None:
+                _drain_and_close(slot.queue)
+        _drain_and_close(results)
 
+    if checkpoint is not None and engine.nfe > last_checkpoint_nfe:
+        maybe_checkpoint(force=True)
     elapsed = time.perf_counter() - start
     history.maybe_record(
         engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
@@ -160,4 +428,5 @@ def run_process_master_slave(
         borg=engine.result(history),
         history=history,
         worker_evaluations=worker_evals,
+        faults=stats,
     )

@@ -11,6 +11,7 @@ from ..cluster.trace import Timeline
 from ..core.borg import BorgResult
 from ..core.events import RunHistory
 from ..simkit.monitor import TallyMonitor
+from .supervision import FaultStats
 
 __all__ = ["ParallelRunResult"]
 
@@ -46,10 +47,33 @@ class ParallelRunResult:
     observed: dict[str, TallyMonitor] = field(default_factory=dict)
     #: Per-actor execution timeline (populated when tracing is on).
     trace: Optional[Timeline] = None
+    #: Supervision counters (all zero for virtual/healthy runs).
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def workers(self) -> int:
         return self.processors - 1
+
+    # -- fault observability (delegates to the supervisor's counters) ------
+    @property
+    def failures_detected(self) -> int:
+        """Worker deaths and hang kills the supervisor detected."""
+        return self.faults.failures_detected
+
+    @property
+    def tasks_redispatched(self) -> int:
+        """In-flight tasks re-dispatched after a detected fault."""
+        return self.faults.tasks_redispatched
+
+    @property
+    def results_quarantined(self) -> int:
+        """Worker replies rejected (structured errors + validation)."""
+        return self.faults.results_quarantined
+
+    @property
+    def checkpoints_written(self) -> int:
+        """Checkpoint files written during the run."""
+        return self.faults.checkpoints_written
 
     @property
     def evaluations_per_worker(self) -> float:

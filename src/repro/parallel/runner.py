@@ -17,6 +17,7 @@ from ..problems.base import Problem
 from ..stats.timing import TimingModel, constant_timing
 from .processes import run_process_master_slave
 from .results import ParallelRunResult
+from .supervision import SupervisorConfig
 from .threads import run_threaded_master_slave
 from .virtual import run_async_master_slave, run_sync_master_slave
 
@@ -40,6 +41,10 @@ def optimize(
     timing: Optional[TimingModel] = None,
     config: Optional[BorgConfig] = None,
     seed: Optional[int] = None,
+    supervisor: Optional[SupervisorConfig] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_interval: Optional[int] = None,
+    resume: Optional[str] = None,
     **kwargs,
 ) -> BorgResult | ParallelRunResult:
     """Run the Borg MOEA on the selected backend.
@@ -49,14 +54,33 @@ def optimize(
     the equivalent :class:`BorgResult`).  Virtual backends need a
     ``timing`` model; a featureless default (1 ms TF, zero overheads)
     is used when omitted.
+
+    ``checkpoint`` periodically serializes full engine state to a file
+    (every ``checkpoint_interval`` evaluations; see
+    :mod:`repro.core.checkpoint`); ``resume`` restores such a file and
+    continues the run toward ``max_nfe``.  ``supervisor`` tunes worker
+    fault handling on the threads/processes backends.  Virtual-clock
+    backends support none of these (they replay, not execute).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if backend in ("serial", "virtual-async", "virtual-sync") and supervisor:
+        raise ValueError(f"backend {backend!r} has no workers to supervise")
 
     if backend == "serial":
-        return BorgMOEA(problem, config=config, seed=seed).run(max_nfe)
+        if resume is not None:
+            moea = BorgMOEA.from_checkpoint(problem, resume, config=config)
+        else:
+            moea = BorgMOEA(problem, config=config, seed=seed)
+        return moea.run(
+            max_nfe, checkpoint=checkpoint, checkpoint_interval=checkpoint_interval
+        )
 
     if backend in ("virtual-async", "virtual-sync"):
+        if checkpoint is not None or resume is not None:
+            raise ValueError(
+                f"backend {backend!r} does not support checkpoint/resume"
+            )
         if timing is None:
             timing = constant_timing(tf=1e-3, tc=0.0, ta=0.0, label="default")
         runner = (
@@ -72,9 +96,13 @@ def optimize(
     if backend in ("threads", "threads-sync"):
         return run_threaded_master_slave(
             problem, processors, max_nfe,
-            config=config, seed=seed, sync=(backend == "threads-sync"), **kwargs,
+            config=config, seed=seed, sync=(backend == "threads-sync"),
+            supervisor=supervisor, checkpoint=checkpoint,
+            checkpoint_interval=checkpoint_interval, resume=resume, **kwargs,
         )
 
     return run_process_master_slave(
-        problem, processors, max_nfe, config=config, seed=seed, **kwargs
+        problem, processors, max_nfe, config=config, seed=seed,
+        supervisor=supervisor, checkpoint=checkpoint,
+        checkpoint_interval=checkpoint_interval, resume=resume, **kwargs,
     )

@@ -1,0 +1,266 @@
+"""Worker supervision: fault detection, re-dispatch, and quarantine.
+
+The paper's premise is that the *asynchronous* master-slave topology
+degrades gracefully under worker churn at 62,976-core scale (§IV-B,
+extended by :mod:`repro.models.faults`).  This module supplies the
+machinery the real execution backends need to actually survive that
+churn instead of merely simulating it:
+
+* :class:`SupervisorConfig` -- knobs of the supervised master loop
+  (receive deadline, per-task timeout, respawn policy, backoff);
+* :class:`TaskRecord` / :class:`TaskTable` -- per-task dispatch
+  bookkeeping with exactly-once ingestion (a task id is ingested at
+  most once no matter how many times it was re-dispatched, so NFE
+  accounting stays exact under duplicates);
+* :func:`validate_reply` -- shape/dtype/NaN guards on worker replies
+  (corrupt results are quarantined and re-evaluated, never ingested);
+* :class:`FaultStats` -- counters surfaced on
+  :class:`~repro.parallel.results.ParallelRunResult` so robustness is
+  observable, not silent;
+* :exc:`NoLiveWorkersError` -- raised instead of hanging when the
+  worker pool is extinct and respawn cannot replenish it.
+
+The supervision *state machine* is documented in docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.solution import Solution
+
+__all__ = [
+    "MSG_OK",
+    "MSG_ERR",
+    "FaultStats",
+    "NoLiveWorkersError",
+    "SupervisorConfig",
+    "TaskRecord",
+    "TaskTable",
+    "assign_results",
+    "validate_reply",
+]
+
+#: Reply-tuple tags of the worker protocol (shared by the thread and
+#: process backends): ``(MSG_OK, wid, task_id, payload...)`` for a
+#: completed evaluation, ``(MSG_ERR, wid, task_id, message)`` when the
+#: worker caught a per-task exception.
+MSG_OK = "ok"
+MSG_ERR = "err"
+
+
+class NoLiveWorkersError(RuntimeError):
+    """The worker pool is extinct and cannot be replenished.
+
+    Raised by supervised masters instead of blocking forever on a
+    result that can never arrive (the failure mode of the old bare
+    ``results.get()`` loop).
+    """
+
+
+@dataclass
+class SupervisorConfig:
+    """Policy knobs of the supervised master loop.
+
+    The defaults are safe for healthy runs: supervision only costs one
+    bounded ``get(timeout=poll_interval)`` per idle interval, and no
+    task is ever re-dispatched unless a fault is actually detected.
+    """
+
+    #: Bounded receive timeout (seconds); each expiry triggers one
+    #: liveness/deadline sweep over the worker pool.
+    poll_interval: float = 0.05
+    #: Per-task deadline (seconds from dispatch).  A task exceeding it
+    #: is presumed lost to a hung worker: the worker is killed (process
+    #: backend) or marked suspect (thread backend) and the task is
+    #: re-dispatched.  ``None`` disables deadline enforcement.
+    task_timeout: Optional[float] = None
+    #: Respawn dead worker processes (process backend only).
+    respawn: bool = True
+    #: Cap on respawns per worker slot; ``None`` means unlimited.
+    max_respawns: Optional[int] = None
+    #: Base of the capped exponential respawn backoff (seconds).
+    backoff_base: float = 0.05
+    #: Ceiling of the respawn backoff (seconds).
+    backoff_max: float = 2.0
+    #: Give up (raise) after a single task has been dispatched this
+    #: many times without producing a valid result.
+    max_dispatches_per_task: int = 8
+    #: Run shape/NaN validation on worker replies and quarantine +
+    #: re-evaluate corrupt results.
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive when set")
+        if self.max_dispatches_per_task < 1:
+            raise ValueError("max_dispatches_per_task must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_max")
+
+    def backoff(self, respawns: int) -> float:
+        """Capped exponential backoff before the ``respawns``-th respawn."""
+        return min(self.backoff_max, self.backoff_base * (2.0 ** respawns))
+
+
+@dataclass
+class FaultStats:
+    """Counters of everything the supervisor detected and repaired."""
+
+    #: Worker deaths and hang kills detected by the supervisor.
+    failures_detected: int = 0
+    #: In-flight tasks re-dispatched after a fault.
+    tasks_redispatched: int = 0
+    #: Worker replies rejected by validation (shape/dtype/NaN) or
+    #: carrying a structured worker error.
+    results_quarantined: int = 0
+    #: Worker processes respawned after a death.
+    workers_respawned: int = 0
+    #: Structured per-task error replies received from workers.
+    worker_errors: int = 0
+    #: Late replies for already-ingested task ids (dropped by dedup).
+    duplicate_results: int = 0
+    #: Checkpoint files written during the run.
+    checkpoints_written: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "failures_detected": self.failures_detected,
+            "tasks_redispatched": self.tasks_redispatched,
+            "results_quarantined": self.results_quarantined,
+            "workers_respawned": self.workers_respawned,
+            "worker_errors": self.worker_errors,
+            "duplicate_results": self.duplicate_results,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+
+@dataclass
+class TaskRecord:
+    """One outstanding task: its candidates plus dispatch telemetry."""
+
+    task_id: int
+    group: list[Solution]
+    #: Worker slot the task is currently assigned to (None = backlog).
+    wid: Optional[int] = None
+    #: ``time.monotonic()`` of the most recent dispatch.
+    dispatched_at: float = 0.0
+    #: Deadline of the current dispatch (monotonic; None = no deadline).
+    deadline: Optional[float] = None
+    #: How many times the task has been handed to a worker.
+    dispatches: int = 0
+
+    def mark_dispatched(self, wid: int, timeout: Optional[float]) -> None:
+        self.wid = wid
+        self.dispatched_at = time.monotonic()
+        self.deadline = (
+            None if timeout is None else self.dispatched_at + timeout
+        )
+        self.dispatches += 1
+
+
+class TaskTable:
+    """In-flight task bookkeeping with exactly-once ingestion.
+
+    Every candidate handed out by the engine lives in exactly one
+    :class:`TaskRecord` until its evaluation is ingested; ``pop`` both
+    resolves a reply to its record and guards against duplicates (a
+    re-dispatched task that was ultimately completed twice resolves on
+    the first reply only).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[int, TaskRecord] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def new(self, group: list[Solution]) -> TaskRecord:
+        record = TaskRecord(task_id=self._next_id, group=group)
+        self._records[record.task_id] = record
+        self._next_id += 1
+        return record
+
+    def get(self, task_id: int) -> Optional[TaskRecord]:
+        return self._records.get(task_id)
+
+    def pop(self, task_id: int) -> Optional[TaskRecord]:
+        """Resolve ``task_id``; None means an already-resolved duplicate."""
+        return self._records.pop(task_id, None)
+
+    def candidates_in_flight(self) -> int:
+        """Total candidates outstanding (dispatch accounting)."""
+        return sum(len(r.group) for r in self._records.values())
+
+    def assigned_to(self, wid: int) -> list[TaskRecord]:
+        """Records currently assigned to worker slot ``wid``."""
+        return [r for r in self._records.values() if r.wid == wid]
+
+    def expired(self, now: float) -> list[TaskRecord]:
+        """Records whose current dispatch blew its deadline."""
+        return [
+            r
+            for r in self._records.values()
+            if r.deadline is not None and r.wid is not None and now > r.deadline
+        ]
+
+    def records(self) -> list[TaskRecord]:
+        """All outstanding records in task-id (dispatch) order."""
+        return [self._records[tid] for tid in sorted(self._records)]
+
+
+def validate_reply(
+    F: object,
+    C: object,
+    n: int,
+    nobjs: int,
+    nconstraints: int,
+) -> Optional[str]:
+    """Validate one worker reply payload; return a rejection reason.
+
+    Checks the objective block for shape ``(n, nobjs)``, float dtype
+    coercibility, and NaN/Inf corruption, and the constraint block
+    (when the problem has constraints) for shape and finiteness.
+    Returns ``None`` when the payload is safe to ingest.
+    """
+    try:
+        F = np.asarray(F, dtype=float)
+    except (TypeError, ValueError):
+        return "objectives not coercible to float"
+    if F.shape != (n, nobjs):
+        return f"objective block has shape {F.shape}, expected {(n, nobjs)}"
+    if not np.all(np.isfinite(F)):
+        return "objectives contain NaN/Inf"
+    if C is not None:
+        try:
+            C = np.asarray(C, dtype=float)
+        except (TypeError, ValueError):
+            return "constraints not coercible to float"
+        if C.ndim != 2 or C.shape[0] != n:
+            return f"constraint block has shape {C.shape}, expected ({n}, ...)"
+        if not np.all(np.isfinite(C)):
+            return "constraints contain NaN/Inf"
+    elif nconstraints > 0:
+        return f"missing constraint block ({nconstraints} expected)"
+    return None
+
+
+def assign_results(
+    group: Sequence[Solution], F: np.ndarray, C: Optional[np.ndarray]
+) -> None:
+    """Copy a validated reply's blocks onto its candidate solutions."""
+    F = np.asarray(F, dtype=float)
+    for i, candidate in enumerate(group):
+        candidate.objectives = np.asarray(F[i], dtype=float)
+        if C is not None:
+            candidate.constraints = np.asarray(C[i], dtype=float)

@@ -6,6 +6,7 @@ The paper's two benchmarks are :class:`DTLZ2` (easy, separable) and
 """
 
 from .base import FunctionProblem, Problem
+from .chaos import ChaosError, FaultyProblem
 from .delays import TimedProblem
 from .dtlz import DTLZ1, DTLZ2, DTLZ3, DTLZ4
 from .gaa import AircraftDesign
@@ -20,6 +21,8 @@ __all__ = [
     "Problem",
     "FunctionProblem",
     "TimedProblem",
+    "FaultyProblem",
+    "ChaosError",
     "DTLZ1",
     "DTLZ2",
     "DTLZ3",

@@ -1,0 +1,297 @@
+"""Fault-tolerance tests: chaos injection + worker supervision.
+
+Deterministic chaos: :class:`FaultyProblem` fault streams are a pure
+function of (seed, worker id, respawn generation), so every scenario
+here replays exactly.  The acceptance bar (ISSUE: PR 3) is that a
+process-backend run with a 10% crash rate completes to ``max_nfe``
+without hanging, with exact NFE accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ChaosSummary,
+    simulate_async_with_failures,
+    summarize_run,
+    throughput_degradation,
+)
+from repro.parallel import (
+    NoLiveWorkersError,
+    SupervisorConfig,
+    optimize,
+    run_process_master_slave,
+    run_threaded_master_slave,
+)
+from repro.parallel.supervision import TaskTable, validate_reply
+from repro.problems import DTLZ2, ChaosError, FaultyProblem
+from repro.stats import constant_timing
+
+FAST = SupervisorConfig(poll_interval=0.02)
+
+
+# ---------------------------------------------------------------------------
+# FaultyProblem determinism
+# ---------------------------------------------------------------------------
+
+
+class TestFaultyProblem:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.8, hang_rate=0.5)
+        with pytest.raises(ValueError):
+            FaultyProblem(DTLZ2(nobjs=2), crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultyProblem(DTLZ2(nobjs=2), crash_mode="segfault")
+
+    def test_deterministic_streams(self):
+        """Same (seed, wid, generation) => same fault sequence."""
+
+        def faults(seed, wid, gen, n=200):
+            p = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.1,
+                              crash_mode="raise", seed=seed)
+            p.reseed_worker(wid, gen)
+            out = []
+            x = np.full(p.nvars, 0.5)
+            for _ in range(n):
+                try:
+                    p._evaluate(x)
+                    out.append(0)
+                except ChaosError:
+                    out.append(1)
+            return out
+
+        assert faults(7, 0, 0) == faults(7, 0, 0)
+        assert faults(7, 0, 0) != faults(7, 1, 0)
+        assert faults(7, 0, 0) != faults(7, 0, 1)  # respawn => fresh stream
+        assert faults(7, 0, 0) != faults(8, 0, 0)
+
+    def test_corruption_injects_nan(self):
+        p = FaultyProblem(DTLZ2(nobjs=2), corrupt_rate=1.0, seed=3)
+        p.reseed_worker(0)
+        F, _ = p._evaluate_batch(np.full((2, p.nvars), 0.5))
+        assert np.isnan(F).any()
+        assert p.injected["corrupt"] >= 1
+
+    def test_faulty_workers_gate(self):
+        p = FaultyProblem(DTLZ2(nobjs=2), crash_rate=1.0, crash_mode="raise",
+                          seed=3, faulty_workers={1})
+        p.reseed_worker(0)
+        p._evaluate(np.full(p.nvars, 0.5))  # worker 0 is healthy
+        p.reseed_worker(1)
+        with pytest.raises(ChaosError):
+            p._evaluate(np.full(p.nvars, 0.5))
+
+    def test_delegates_to_inner(self):
+        inner = DTLZ2(nobjs=2)
+        p = FaultyProblem(inner, seed=0)
+        assert p.nobjs == inner.nobjs
+        assert np.array_equal(p.default_epsilons(), inner.default_epsilons())
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        p = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.2, seed=5)
+        q = pickle.loads(pickle.dumps(p))
+        assert q.crash_rate == 0.2
+        q.reseed_worker(0)
+        q._evaluate(np.full(q.nvars, 0.5))
+
+
+# ---------------------------------------------------------------------------
+# Supervision primitives
+# ---------------------------------------------------------------------------
+
+
+class TestSupervisionPrimitives:
+    def test_validate_reply(self):
+        ok = np.zeros((2, 3))
+        assert validate_reply(ok, None, 2, 3, 0) is None
+        assert validate_reply(None, None, 2, 3, 0) is not None
+        assert validate_reply(np.zeros((2, 2)), None, 2, 3, 0) is not None
+        bad = ok.copy()
+        bad[0, 0] = np.nan
+        assert validate_reply(bad, None, 2, 3, 0) is not None
+        bad[0, 0] = np.inf
+        assert validate_reply(bad, None, 2, 3, 0) is not None
+        assert validate_reply(ok, None, 2, 3, 1) is not None  # missing C
+        assert validate_reply(ok, np.zeros((2, 1)), 2, 3, 1) is None
+
+    def test_task_table_dedup(self):
+        table = TaskTable()
+        rec = table.new(["a", "b"])
+        assert table.get(rec.task_id) is rec
+        assert table.candidates_in_flight() == 2
+        assert table.pop(rec.task_id) is rec
+        assert table.pop(rec.task_id) is None  # duplicate reply
+        assert table.get(rec.task_id) is None
+        assert not table
+
+    def test_supervisor_backoff_caps(self):
+        sup = SupervisorConfig(backoff_base=0.1, backoff_max=0.5)
+        assert sup.backoff(0) == pytest.approx(0.1)
+        assert sup.backoff(1) == pytest.approx(0.2)
+        assert sup.backoff(10) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            SupervisorConfig(poll_interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Process backend under chaos (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+class TestProcessChaos:
+    def test_crash_recovery_reaches_max_nfe(self, small_config):
+        """ISSUE acceptance: 10% crash rate, exact NFE, observable faults."""
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.10, seed=42)
+        res = run_process_master_slave(
+            prob, 5, 300, config=small_config, seed=3, supervisor=FAST
+        )
+        assert res.nfe == 300
+        assert res.borg.nfe == 300
+        assert int(res.worker_evaluations.sum()) == 300
+        assert res.failures_detected > 0
+        assert res.tasks_redispatched > 0
+        assert res.faults.workers_respawned > 0
+
+    def test_pool_extinction_raises(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=1.0, seed=9)
+        sup = SupervisorConfig(poll_interval=0.02, respawn=False)
+        with pytest.raises(NoLiveWorkersError):
+            run_process_master_slave(
+                prob, 3, 100, config=small_config, seed=1, supervisor=sup
+            )
+
+    def test_shrinking_pool_degrades_gracefully(self, small_config):
+        """One doomed worker + respawn off: the survivor finishes alone."""
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=1.0, seed=11,
+                             faulty_workers={0})
+        sup = SupervisorConfig(poll_interval=0.02, respawn=False)
+        res = run_process_master_slave(
+            prob, 3, 120, config=small_config, seed=2, supervisor=sup
+        )
+        assert res.nfe == 120
+        assert res.failures_detected >= 1
+        assert res.worker_evaluations[0] == 0
+        assert res.worker_evaluations[1] == 120
+
+    def test_hang_detection_kills_and_recovers(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), hang_rate=1.0, hang_delay=60.0,
+                             seed=13, faulty_workers={0})
+        sup = SupervisorConfig(poll_interval=0.02, task_timeout=0.4)
+        res = run_process_master_slave(
+            prob, 3, 120, config=small_config, seed=1, supervisor=sup
+        )
+        assert res.nfe == 120
+        assert res.failures_detected >= 1
+        assert res.tasks_redispatched >= 1
+
+    def test_corrupt_results_quarantined(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), corrupt_rate=0.2, seed=17)
+        res = run_process_master_slave(
+            prob, 4, 200, config=small_config, seed=2, supervisor=FAST
+        )
+        assert res.nfe == 200
+        assert res.results_quarantined > 0
+        # No NaN survived into the archive.
+        objs = np.array([s.objectives for s in res.borg.archive])
+        assert np.isfinite(objs).all()
+
+    def test_healthy_run_reports_zero_faults(self, small_config):
+        res = run_process_master_slave(
+            DTLZ2(nobjs=2), 3, 150, config=small_config, seed=4,
+            supervisor=FAST,
+        )
+        assert res.nfe == 150
+        assert res.failures_detected == 0
+        assert res.tasks_redispatched == 0
+        assert res.results_quarantined == 0
+
+
+# ---------------------------------------------------------------------------
+# Thread backend under chaos
+# ---------------------------------------------------------------------------
+
+
+class TestThreadChaos:
+    def test_worker_errors_redispatched(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.2,
+                             crash_mode="raise", seed=5)
+        res = run_threaded_master_slave(
+            prob, 4, 200, config=small_config, seed=2, supervisor=FAST
+        )
+        assert res.nfe == 200
+        assert res.faults.worker_errors > 0
+        assert res.tasks_redispatched > 0
+
+    def test_corrupt_results_quarantined(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), corrupt_rate=0.15, seed=1)
+        res = run_threaded_master_slave(
+            prob, 4, 200, config=small_config, seed=2, supervisor=FAST
+        )
+        assert res.nfe == 200
+        assert res.results_quarantined > 0
+
+    def test_hung_thread_deadline_redispatch(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), hang_rate=1.0, hang_delay=30.0,
+                             seed=17, faulty_workers={0})
+        sup = SupervisorConfig(poll_interval=0.02, task_timeout=0.4)
+        res = run_threaded_master_slave(
+            prob, 4, 150, config=small_config, seed=1, supervisor=sup
+        )
+        assert res.nfe == 150
+        assert res.failures_detected >= 1
+
+    def test_sync_mode_with_errors(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.1,
+                             crash_mode="raise", seed=23)
+        res = run_threaded_master_slave(
+            prob, 4, 120, config=small_config, seed=3, sync=True,
+            supervisor=FAST,
+        )
+        assert res.nfe == 120
+
+
+# ---------------------------------------------------------------------------
+# Facade + measured-vs-modeled summary schema
+# ---------------------------------------------------------------------------
+
+
+class TestChaosReporting:
+    def test_optimize_rejects_supervisor_on_serial(self):
+        with pytest.raises(ValueError):
+            optimize(DTLZ2(nobjs=2), 100, backend="serial",
+                     supervisor=SupervisorConfig())
+
+    def test_optimize_rejects_checkpoint_on_virtual(self):
+        with pytest.raises(ValueError):
+            optimize(DTLZ2(nobjs=2), 100, backend="virtual-async",
+                     checkpoint="x.pkl")
+
+    def test_summarize_run_and_outcome_share_schema(self, small_config):
+        prob = FaultyProblem(DTLZ2(nobjs=2), crash_rate=0.2, seed=6)
+        res = run_process_master_slave(
+            prob, 3, 100, config=small_config, seed=1, supervisor=FAST
+        )
+        measured = summarize_run(res)
+        assert isinstance(measured, ChaosSummary)
+        assert measured.nfe == 100
+        assert measured.failures == res.failures_detected
+
+        timing = constant_timing(tf=1e-3, tc=0.0, ta=0.0)
+        sim = simulate_async_with_failures(
+            4, 500, timing, mtbf=0.05, repair=0.01, seed=0
+        ).summary()
+        assert isinstance(sim, ChaosSummary)
+        assert sim.source == "simulated"
+        assert len(measured.as_row()) == len(sim.as_row())
+
+    def test_throughput_degradation(self):
+        a = ChaosSummary("base", 1.0, 100, 4, 0, 0, 0)
+        b = ChaosSummary("bad", 2.0, 100, 4, 5, 5, 5)
+        assert throughput_degradation(a, b) == pytest.approx(0.5)
+        zero = ChaosSummary("zero", 0.0, 0, 4, 0, 0, 0)
+        assert np.isnan(throughput_degradation(zero, b))

@@ -1,0 +1,181 @@
+"""Checkpoint/resume tests: serialized engine state restores exactly.
+
+The contract (docs/RESILIENCE.md §4): resuming a checkpointed run and
+letting it finish produces *bit-identical* algorithm state to the run
+that was never interrupted -- archive, operator probabilities, restart
+count and RNG stream all survive the round trip.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CHECKPOINT_VERSION,
+    BorgMOEA,
+    CheckpointError,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.parallel import SupervisorConfig, optimize, run_process_master_slave
+from repro.problems import DTLZ2
+
+
+def _sorted_objectives(archive):
+    return np.sort(np.array([s.objectives for s in archive]), axis=0)
+
+
+def _assert_same_archive(a, b):
+    A, B = _sorted_objectives(a), _sorted_objectives(b)
+    assert A.shape == B.shape
+    np.testing.assert_array_equal(A, B)
+
+
+class TestSerialCheckpoint:
+    def test_resume_is_bit_identical(self, dtlz2_2d, small_config, tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        full = BorgMOEA(DTLZ2(nobjs=2, nvars=11), config=small_config,
+                        seed=7).run(600)
+        BorgMOEA(dtlz2_2d, config=small_config, seed=7).run(
+            300, checkpoint=ck
+        )
+        resumed = BorgMOEA.from_checkpoint(
+            DTLZ2(nobjs=2, nvars=11), ck
+        ).run(600)
+        assert resumed.nfe == full.nfe == 600
+        assert resumed.restarts == full.restarts
+        _assert_same_archive(full.archive, resumed.archive)
+        assert resumed.operator_probabilities == full.operator_probabilities
+
+    def test_periodic_checkpoints_written(self, dtlz2_2d, small_config,
+                                          tmp_path):
+        ck = tmp_path / "ck.pkl"
+        BorgMOEA(dtlz2_2d, config=small_config, seed=1).run(
+            400, checkpoint=str(ck), checkpoint_interval=100
+        )
+        assert ck.exists()
+        data = load_checkpoint(str(ck))
+        assert data["version"] == CHECKPOINT_VERSION
+        assert data["state"]["nfe"] == 400
+        assert data["meta"]["backend"] == "serial"
+
+    def test_optimize_facade_roundtrip(self, small_config, tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        full = optimize(DTLZ2(nobjs=2, nvars=11), 500, backend="serial",
+                        seed=11, config=small_config)
+        optimize(DTLZ2(nobjs=2, nvars=11), 250, backend="serial", seed=11,
+                 config=small_config, checkpoint=ck)
+        resumed = optimize(DTLZ2(nobjs=2, nvars=11), 500, backend="serial",
+                           resume=ck)
+        _assert_same_archive(full.archive, resumed.archive)
+
+    def test_restored_engine_matches_saved_state(self, dtlz2_2d,
+                                                 small_config, tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        moea = BorgMOEA(dtlz2_2d, config=small_config, seed=3)
+        moea.run(300, checkpoint=ck)
+        engine = restore_engine(DTLZ2(nobjs=2, nvars=11), ck)
+        assert engine.nfe == moea.engine.nfe
+        assert engine.restarts == moea.engine.restarts
+        assert len(engine.archive) == len(moea.engine.archive)
+        assert (engine.rng.bit_generator.state
+                == moea.engine.rng.bit_generator.state)
+        np.testing.assert_array_equal(
+            engine.selector.probabilities, moea.engine.selector.probabilities
+        )
+
+
+class TestParallelCheckpoint:
+    def test_kill_and_resume_single_worker(self, small_config, tmp_path):
+        """A 1-worker process run is sequential, so resume replays the
+        uninterrupted run exactly -- the parallel analogue of the serial
+        bit-identity test (simulating a mid-run kill + restart)."""
+        ck = str(tmp_path / "ck.pkl")
+        full = run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 2, 300, config=small_config, seed=11
+        )
+        run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 2, 150, config=small_config, seed=11,
+            checkpoint=ck, checkpoint_interval=150,
+        )
+        resumed = run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 2, 300, config=small_config, resume=ck
+        )
+        assert resumed.nfe == full.nfe == 300
+        _assert_same_archive(full.borg.archive, resumed.borg.archive)
+        assert (resumed.borg.operator_probabilities
+                == full.borg.operator_probabilities)
+
+    def test_multiworker_resume_completes_exactly(self, small_config,
+                                                  tmp_path):
+        """With real concurrency the interleaving differs, but resume
+        must still complete to the exact budget with a valid archive."""
+        ck = str(tmp_path / "ck.pkl")
+        run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 4, 200, config=small_config, seed=5,
+            checkpoint=ck, checkpoint_interval=50,
+            supervisor=SupervisorConfig(poll_interval=0.02),
+        )
+        data = load_checkpoint(ck)
+        assert data["state"]["nfe"] == 200
+        resumed = run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 4, 350, config=small_config, resume=ck,
+            supervisor=SupervisorConfig(poll_interval=0.02),
+        )
+        assert resumed.nfe == 350
+        objs = np.array([s.objectives for s in resumed.borg.archive])
+        assert np.isfinite(objs).all()
+
+    def test_checkpoint_counter_reported(self, small_config, tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        res = run_process_master_slave(
+            DTLZ2(nobjs=2, nvars=11), 3, 200, config=small_config, seed=2,
+            checkpoint=ck, checkpoint_interval=50,
+        )
+        assert res.checkpoints_written >= 2
+
+
+class TestCheckpointFormat:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"format": "something-else", "version": 1}, fh)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "future.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"format": "repro-borg-checkpoint",
+                 "version": CHECKPOINT_VERSION + 1, "state": {}},
+                fh,
+            )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_rejects_operator_mismatch(self, dtlz2_2d, small_config,
+                                       tmp_path):
+        from repro.core.operators import default_operators
+
+        ck = str(tmp_path / "ck.pkl")
+        BorgMOEA(dtlz2_2d, config=small_config, seed=1).run(
+            150, checkpoint=ck
+        )
+        problem = DTLZ2(nobjs=2, nvars=11)
+        subset = default_operators(problem.lower, problem.upper)[:2]
+        with pytest.raises(CheckpointError):
+            restore_engine(problem, ck, operators=subset)
+
+    def test_atomic_write_leaves_no_temp_files(self, dtlz2_2d, small_config,
+                                               tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        moea = BorgMOEA(dtlz2_2d, config=small_config, seed=1)
+        moea.run(150, checkpoint=ck)
+        save_checkpoint(moea.engine, ck)  # overwrite in place
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "ck.pkl"]
+        assert leftovers == []
