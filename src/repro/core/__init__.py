@@ -17,6 +17,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .dominance import (
+    IncrementalFront,
     constrained_compare,
     epsilon_box_compare,
     epsilon_boxes,
@@ -66,4 +67,5 @@ __all__ = [
     "epsilon_box_compare",
     "nondominated_mask",
     "nondominated_filter",
+    "IncrementalFront",
 ]

@@ -5,15 +5,30 @@ epsilon-nondominated solutions found so far, detects search stagnation
 through its *epsilon-progress* counter, and supplies the per-operator
 contribution counts that drive auto-adaptive operator selection.
 
-Implementation note: box indices and objective vectors for all archive
-members are mirrored in NumPy matrices so that each ``add`` is a
-handful of vectorised comparisons rather than a Python loop over
-members (the archive is consulted once per function evaluation, so this
-is the serial hot path).  The matrices live in amortized doubling
-buffers -- ``_boxes``/``_objectives`` are views of the filled prefix --
-so an ``add`` appends in O(1) amortized instead of re-copying the whole
-archive per accepted solution, and membership tests run against a uid
-set in O(1).
+Implementation note: the archive is consulted once per function
+evaluation, so ``add`` is the master's serial hot path and directly
+sets the throughput ceiling T_M behind the paper's master-saturation
+bound (Eq. 3).  Two implementations coexist behind ``repro.fastpath``:
+
+* the **reference path** (``REPRO_FASTPATH=0``) compares each offer
+  against the whole front with a handful of vectorised comparisons over
+  NumPy mirrors of the members' box indices and objectives -- O(|A|)
+  per offer;
+* the **indexed path** (default) consults a :class:`_BoxGridIndex`: a
+  hash of occupied epsilon-boxes gives O(1) same-box hits, and an
+  :class:`~repro.core.dominance.IncrementalFront` over the box lattice
+  prunes dominance checks to the boxes that can possibly dominate (or
+  be dominated by) the candidate, so steady-state offers are sublinear
+  in |A|.  The index is derived state: it is rebuilt deterministically
+  from the members on first use (including after checkpoint restore or
+  a fastpath toggle), and both paths produce bit-identical decisions --
+  membership, epsilon-progress, and eviction sets
+  (``tests/test_archive_index.py`` fuzzes the equivalence).
+
+In both modes the box-index and objective matrices are mirrored in
+amortized doubling buffers -- ``_boxes``/``_objectives`` are views of
+the filled prefix -- so an ``add`` appends in O(1) amortized, and
+membership tests run against a uid set in O(1).
 """
 
 from __future__ import annotations
@@ -24,10 +39,71 @@ from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from .dominance import epsilon_boxes
+from .. import fastpath
+from .dominance import IncrementalFront, epsilon_boxes
 from .solution import Solution
 
 __all__ = ["AddResult", "EpsilonBoxArchive"]
+
+
+def _box_key(box: np.ndarray) -> bytes:
+    """Hashable key of an epsilon-box index vector.
+
+    ``+ 0.0`` normalises ``-0.0`` to ``+0.0`` so boxes that compare
+    numerically equal never hash apart.
+    """
+    return (box + 0.0).tobytes()
+
+
+class _BoxGridIndex:
+    """Spatial index over the archive's occupied epsilon-boxes.
+
+    One member per box (an archive invariant), so the grid maps each
+    box key to exactly one storage slot of the underlying
+    :class:`IncrementalFront`; side tables resolve slots to the living
+    :class:`Solution` objects and back.  Because members are mutually
+    non-box-dominated, a same-box hit proves that no other member can
+    dominate the candidate or be dominated by it, which is what makes
+    the O(1) grid lookup a complete fast path.
+    """
+
+    __slots__ = ("front", "grid", "slot_solution", "uid_slot")
+
+    def __init__(self, m: int) -> None:
+        self.front = IncrementalFront(m)
+        #: box key -> front slot.
+        self.grid: dict[bytes, int] = {}
+        #: front slot -> archive member.
+        self.slot_solution: dict[int, Solution] = {}
+        #: member uid -> front slot.
+        self.uid_slot: dict[int, int] = {}
+
+    def rebuild(self, boxes: np.ndarray, solutions: Sequence[Solution]) -> None:
+        for box, solution in zip(boxes, solutions):
+            self.insert(box, solution)
+
+    def insert(self, box: np.ndarray, solution: Solution) -> None:
+        slot = self.front.insert(box)
+        self.grid[_box_key(box)] = slot
+        self.slot_solution[slot] = solution
+        self.uid_slot[solution.uid] = slot
+
+    def remove(self, solutions: Sequence[Solution]) -> None:
+        slots = np.array(
+            [self.uid_slot.pop(s.uid) for s in solutions], dtype=np.intp
+        )
+        for slot in slots:
+            slot = int(slot)
+            del self.grid[_box_key(np.asarray(self.front.value_at(slot)))]
+            del self.slot_solution[slot]
+        self.front.remove(slots)
+        remap = self.front.compact_if_needed()
+        if remap is not None:
+            self.grid = {k: int(remap[v]) for k, v in self.grid.items()}
+            self.slot_solution = {
+                int(remap[s]): sol for s, sol in self.slot_solution.items()
+            }
+            self.uid_slot = {u: int(remap[s]) for u, s in self.uid_slot.items()}
 
 
 @dataclass
@@ -60,19 +136,27 @@ class EpsilonBoxArchive:
     ----------
     epsilons:
         Per-objective epsilon resolutions.  A scalar is broadcast to all
-        objectives on first use.
+        objectives on first use (idempotently: the original input is
+        kept, so repeated broadcasting -- e.g. across checkpoint
+        restore -- is stable and never mutates caller-owned arrays).
     """
 
     def __init__(self, epsilons: Sequence[float] | float) -> None:
-        eps = np.atleast_1d(np.asarray(epsilons, dtype=float))
+        eps = np.atleast_1d(np.asarray(epsilons, dtype=float)).copy()
         if np.any(eps <= 0):
             raise ValueError(f"epsilons must be positive, got {eps}")
+        self._epsilons_input = eps
         self._epsilons = eps
+        self._broadcast_m: Optional[int] = None
         self.solutions: list[Solution] = []
         self._box_buffer = np.empty((0, 0))
         self._objective_buffer = np.empty((0, 0))
+        self._uid_buffer = np.empty(16, dtype=np.int64)
         self._size = 0
         self._uids: set = set()
+        #: Box-grid index accelerating ``add`` (fastpath only; derived
+        #: state, rebuilt lazily from the members whenever absent).
+        self._index: Optional[_BoxGridIndex] = None
         #: Cumulative count of epsilon-progress improvements.
         self.improvements = 0
         #: Archive membership per producing-operator tag.
@@ -105,13 +189,28 @@ class EpsilonBoxArchive:
 
     @property
     def objectives(self) -> np.ndarray:
-        """Matrix of archive objective vectors, shape ``(len, M)``."""
-        return self._objectives.copy()
+        """Matrix of archive objective vectors, shape ``(len, M)``.
+
+        A zero-copy **read-only view** of the live buffer prefix: hot
+        callers (selection, diagnostics, per-ingest history recording)
+        pay nothing, and accidental mutation raises.  The view tracks
+        the archive -- take a ``.copy()`` to keep a snapshot across
+        later ``add`` calls.
+        """
+        view = self._objective_buffer[: self._size].view()
+        view.flags.writeable = False
+        return view
 
     def _broadcast_epsilons(self, m: int) -> np.ndarray:
-        if self._epsilons.size == 1 and m > 1:
-            self._epsilons = np.full(m, self._epsilons[0])
-        if self._epsilons.size != m:
+        if self._broadcast_m is None:
+            if self._epsilons_input.size == 1 and m > 1:
+                self._epsilons = np.full(m, self._epsilons_input[0])
+            elif self._epsilons_input.size != m:
+                raise ValueError(
+                    f"{self._epsilons_input.size} epsilons but {m} objectives"
+                )
+            self._broadcast_m = m
+        elif m != self._broadcast_m:
             raise ValueError(
                 f"{self._epsilons.size} epsilons but {m} objectives"
             )
@@ -155,6 +254,16 @@ class EpsilonBoxArchive:
             self.improvements += 1
             return AddResult(accepted=True, improvement=True)
 
+        if fastpath.enabled():
+            return self._add_indexed(solution, box, eps)
+        self._index = None
+        return self._add_reference(solution, box, eps)
+
+    def _add_reference(
+        self, solution: Solution, box: np.ndarray, eps: np.ndarray
+    ) -> AddResult:
+        """Full-scan update: vectorised comparison against every member
+        (the ``REPRO_FASTPATH=0`` parity reference)."""
         boxes = self._boxes
         le = boxes <= box
         ge = boxes >= box
@@ -169,16 +278,9 @@ class EpsilonBoxArchive:
 
         same_idx = np.flatnonzero(same)
         if same_idx.size:
-            # Same box: keep the Pareto-better solution; if mutually
-            # nondominated, keep the one nearer the box's lower corner.
-            i = int(same_idx[0])
-            incumbent = self.solutions[i]
-            if self._same_box_keep_new(solution, incumbent, box, eps):
-                removed = [incumbent]
-                self._remove_indices([i])
-                self._append(solution)
-                return AddResult(accepted=True, improvement=False, removed=removed)
-            return AddResult(accepted=False)
+            return self._same_box_contest(
+                solution, self.solutions[int(same_idx[0])], box, eps
+            )
 
         removed = []
         evict = np.flatnonzero(dominated_by_new)
@@ -188,6 +290,55 @@ class EpsilonBoxArchive:
         self._append(solution)
         self.improvements += 1
         return AddResult(accepted=True, improvement=True, removed=removed)
+
+    def _add_indexed(
+        self, solution: Solution, box: np.ndarray, eps: np.ndarray
+    ) -> AddResult:
+        """Box-grid update: O(1) same-box hit, pruned dominance scans.
+
+        Decision-equivalent to :meth:`_add_reference`: members are
+        mutually non-box-dominated, so a same-box incumbent excludes
+        both dominators and victims, and otherwise the incremental
+        front's sum-bounded scans see exactly the members the full scan
+        would flag.
+        """
+        index = self._index
+        if index is None:
+            index = self._index = _BoxGridIndex(box.size)
+            index.rebuild(self._boxes, self.solutions)
+
+        slot = index.grid.get(_box_key(box))
+        if slot is not None:
+            return self._same_box_contest(
+                solution, index.slot_solution[slot], box, eps
+            )
+
+        dominated, victim_slots = index.front.query(box)
+        if dominated:
+            return AddResult(accepted=False)
+
+        removed: list[Solution] = []
+        if victim_slots.size:
+            victims = [index.slot_solution[int(s)] for s in victim_slots]
+            positions = sorted(self._position_of(v) for v in victims)
+            removed = [self.solutions[i] for i in positions]
+            self._remove_indices(positions)
+        self._append(solution)
+        self.improvements += 1
+        return AddResult(accepted=True, improvement=True, removed=removed)
+
+    def _same_box_contest(
+        self, solution: Solution, incumbent: Solution, box: np.ndarray,
+        eps: np.ndarray,
+    ) -> AddResult:
+        """Resolve a same-box offer against the box's incumbent."""
+        if self._same_box_keep_new(solution, incumbent, box, eps):
+            self._remove_indices([self._position_of(incumbent)])
+            self._append(solution)
+            return AddResult(
+                accepted=True, improvement=False, removed=[incumbent]
+            )
+        return AddResult(accepted=False)
 
     @staticmethod
     def _same_box_keep_new(
@@ -205,6 +356,14 @@ class EpsilonBoxArchive:
         return d_new < d_old
 
     # -- storage helpers ---------------------------------------------------
+    def _position_of(self, member: Solution) -> int:
+        """Membership-list position of ``member``, via one vectorised
+        uid scan (a Python-level ``list.index`` walk is the hot-path
+        bottleneck at large archive sizes)."""
+        return int(
+            np.flatnonzero(self._uid_buffer[: self._size] == member.uid)[0]
+        )
+
     def _reset(self, m: int) -> None:
         self.solutions = []
         if self._box_buffer.shape[1] != m:
@@ -212,6 +371,7 @@ class EpsilonBoxArchive:
             self._objective_buffer = np.empty((16, m))
         self._size = 0
         self._uids.clear()
+        self._index = None
         self.operator_counts = Counter()
 
     def _grow(self, m: int) -> None:
@@ -221,6 +381,10 @@ class EpsilonBoxArchive:
             buf = np.empty((capacity, m))
             buf[: self._size] = old[: self._size]
             setattr(self, name, buf)
+        if self._uid_buffer.shape[0] < capacity:
+            uids = np.empty(capacity, dtype=np.int64)
+            uids[: self._size] = self._uid_buffer[: self._size]
+            self._uid_buffer = uids
 
     def _append(self, solution: Solution) -> None:
         eps = self._epsilons
@@ -230,21 +394,42 @@ class EpsilonBoxArchive:
         self.solutions.append(solution)
         self._box_buffer[self._size] = box
         self._objective_buffer[self._size] = solution.objectives
+        self._uid_buffer[self._size] = solution.uid
         self._size += 1
         self._uids.add(solution.uid)
         self.operator_counts[solution.operator] += 1
+        if self._index is not None:
+            self._index.insert(box, solution)
 
     def _remove_indices(self, indices: list[int]) -> None:
-        keep = np.ones(len(self.solutions), dtype=bool)
-        keep[indices] = False
+        if self._index is not None:
+            self._index.remove([self.solutions[i] for i in indices])
         for i in indices:
             self.operator_counts[self.solutions[i].operator] -= 1
             self._uids.discard(self.solutions[i].uid)
+        n = self._size
+        if len(indices) <= 8:
+            # Few victims (the common case): order-preserving positional
+            # deletes and tail shifts, instead of rebuilding the whole
+            # membership storage.
+            for i in reversed(indices):
+                del self.solutions[i]
+                self._box_buffer[i : n - 1] = self._box_buffer[i + 1 : n].copy()
+                self._objective_buffer[i : n - 1] = (
+                    self._objective_buffer[i + 1 : n].copy()
+                )
+                self._uid_buffer[i : n - 1] = self._uid_buffer[i + 1 : n].copy()
+                n -= 1
+            self._size = n
+            return
+        keep = np.ones(n, dtype=bool)
+        keep[indices] = False
         self.solutions = [s for s, k in zip(self.solutions, keep) if k]
         kept = int(np.count_nonzero(keep))
         # Compact the survivors into the buffer prefix in place.
-        self._box_buffer[:kept] = self._box_buffer[: self._size][keep]
-        self._objective_buffer[:kept] = self._objective_buffer[: self._size][keep]
+        self._box_buffer[:kept] = self._box_buffer[:n][keep]
+        self._objective_buffer[:kept] = self._objective_buffer[:n][keep]
+        self._uid_buffer[:kept] = self._uid_buffer[:n][keep]
         self._size = kept
 
     # -- queries ------------------------------------------------------------

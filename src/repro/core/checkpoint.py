@@ -119,6 +119,7 @@ def engine_state(
             ),
             "operator_names": [op.name for op in engine.selector.operators],
         },
+        "arrival_counts": dict(engine.arrival_counts),
         "restarter": {
             "improvements_at_last_check": engine.restarter._improvements_at_last_check,
             "last_check_nfe": engine.restarter._last_check_nfe,
@@ -183,6 +184,13 @@ def load_checkpoint(path: str | os.PathLike) -> dict:
 
 # -- restore ----------------------------------------------------------------
 def _restore_archive(spec: dict) -> EpsilonBoxArchive:
+    """Rebuild the archive from its packed members.
+
+    The fastpath box-grid index is derived state and is deliberately
+    not serialized: it rebuilds deterministically from the members on
+    the first indexed ``add`` after resume, so resumed runs make
+    bit-identical archive decisions in either fastpath mode.
+    """
     archive = EpsilonBoxArchive(spec["epsilons"])
     solutions = [_unpack_solution(d) for d in spec["solutions"]]
     if solutions:
@@ -250,6 +258,9 @@ def restore_engine(
     engine.selector.selection_counts = np.array(
         state["selector"]["selection_counts"], dtype=int
     )
+    # Older version-1 checkpoints predate arrival tracking; absent
+    # counts restore as empty (bias correction then warms up afresh).
+    engine.arrival_counts.update(state.get("arrival_counts", {}))
     engine.restarter._improvements_at_last_check = state["restarter"][
         "improvements_at_last_check"
     ]

@@ -16,7 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..problems.base import Problem
-from .dominance import constrained_compare
+from .dominance import constrained_compare, nondominated_mask
 from .events import RunHistory
 from .operators.mutation import PolynomialMutation
 from .operators.sbx import SBX
@@ -220,8 +220,12 @@ class NSGAII:
             )
             self._rank_population()
             F = np.array([s.objectives for s in self.population])
-            first = fast_nondominated_sort(F)[0]
-            hist.maybe_record(self.nfe, float("nan"), F[first], 0, force=True)
+            # Only the first front is recorded, so the O(N^2) full sort
+            # is overkill: the single-front mask yields the same rows in
+            # the same (ascending-index) order.
+            hist.maybe_record(
+                self.nfe, float("nan"), F[nondominated_mask(F)], 0, force=True
+            )
 
         hist.total_nfe = self.nfe
         return NSGA2Result(nfe=self.nfe, population=self.population, history=hist)

@@ -104,7 +104,7 @@ def run_mpi_master_slave(
         history.maybe_record(
             engine.nfe,
             time.perf_counter() - start,
-            engine.archive._objectives,
+            engine.archive.objectives,
             engine.restarts,
         )
         if engine.nfe + len(in_flight) < max_nfe:
@@ -117,7 +117,7 @@ def run_mpi_master_slave(
 
     elapsed = time.perf_counter() - start
     history.maybe_record(
-        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+        engine.nfe, elapsed, engine.archive.objectives, engine.restarts, force=True
     )
     history.total_nfe = engine.nfe
     history.total_restarts = engine.restarts

@@ -381,7 +381,7 @@ def run_process_master_slave(
             history.maybe_record(
                 engine.nfe,
                 time.perf_counter() - start,
-                engine.archive._objectives,
+                engine.archive.objectives,
                 engine.restarts,
             )
             maybe_checkpoint()
@@ -415,7 +415,7 @@ def run_process_master_slave(
         maybe_checkpoint(force=True)
     elapsed = time.perf_counter() - start
     history.maybe_record(
-        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+        engine.nfe, elapsed, engine.archive.objectives, engine.restarts, force=True
     )
     history.total_nfe = engine.nfe
     history.total_restarts = engine.restarts

@@ -261,7 +261,7 @@ def run_threaded_master_slave(
             history.maybe_record(
                 engine.nfe,
                 time.perf_counter() - start,
-                engine.archive._objectives,
+                engine.archive.objectives,
                 engine.restarts,
             )
             maybe_checkpoint()
@@ -303,7 +303,7 @@ def run_threaded_master_slave(
         maybe_checkpoint(force=True)
     elapsed = time.perf_counter() - start
     history.maybe_record(
-        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+        engine.nfe, elapsed, engine.archive.objectives, engine.restarts, force=True
     )
     history.total_nfe = engine.nfe
     history.total_restarts = engine.restarts

@@ -175,7 +175,7 @@ def run_async_master_slave(
                     history.maybe_record(
                         engine.nfe,
                         env.now,
-                        engine.archive._objectives,
+                        engine.archive.objectives,
                         engine.restarts,
                     )
                     if engine.nfe >= max_nfe:
@@ -189,7 +189,7 @@ def run_async_master_slave(
     elapsed = env.run(until=done)
 
     history.maybe_record(
-        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+        engine.nfe, elapsed, engine.archive.objectives, engine.restarts, force=True
     )
     history.total_nfe = engine.nfe
     history.total_restarts = engine.restarts
@@ -292,7 +292,7 @@ def run_sync_master_slave(
                     history.maybe_record(
                         engine.nfe,
                         env.now,
-                        engine.archive._objectives,
+                        engine.archive.objectives,
                         engine.restarts,
                     )
                     if engine.nfe >= max_nfe:
@@ -303,7 +303,7 @@ def run_sync_master_slave(
     elapsed = env.run(until=proc)
 
     history.maybe_record(
-        engine.nfe, elapsed, engine.archive._objectives, engine.restarts, force=True
+        engine.nfe, elapsed, engine.archive.objectives, engine.restarts, force=True
     )
     history.total_nfe = engine.nfe
     history.total_restarts = engine.restarts

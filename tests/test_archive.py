@@ -119,6 +119,50 @@ class TestArchiveAdd:
         assert sorted(F[:, 0].tolist()) == [0.05, 0.95]
 
 
+class TestObjectivesView:
+    def test_objectives_view_is_read_only(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5))
+        F = archive.objectives
+        with pytest.raises(ValueError):
+            F[0, 0] = 99.0
+
+    def test_objectives_view_is_zero_copy(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.05, 0.95, 0.5))
+        F = archive.objectives
+        assert F.base is archive._objective_buffer
+
+    def test_copy_survives_later_adds(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.9, 0.9, 0.9))
+        snapshot = archive.objectives.copy()
+        archive.add(sol(0.1, 0.1, 0.1))  # evicts and overwrites row 0
+        assert snapshot[0, 0] == 0.9
+
+
+class TestEpsilonBroadcastIdempotency:
+    def test_broadcast_does_not_mutate_caller_array(self):
+        eps = np.array([0.1])
+        archive = EpsilonBoxArchive(eps)
+        archive.add(sol(0.5, 0.5, 0.5))
+        assert eps.shape == (1,)
+        assert archive.epsilons.shape == (3,)
+
+    def test_broadcast_is_idempotent(self):
+        archive = EpsilonBoxArchive(0.1)
+        first = archive._broadcast_epsilons(3)
+        second = archive._broadcast_epsilons(3)
+        assert first is second
+        assert np.array_equal(first, [0.1, 0.1, 0.1])
+
+    def test_dimensionality_locked_after_first_use(self):
+        archive = EpsilonBoxArchive(0.1)
+        archive.add(sol(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            archive._broadcast_epsilons(2)
+
+
 class TestEpsilonProgress:
     def test_progress_counts_new_boxes_only(self):
         archive = EpsilonBoxArchive(1.0)

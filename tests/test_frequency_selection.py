@@ -1,0 +1,199 @@
+"""Frequency-based parent-selection bias correction (Harada,
+arXiv:2107.12053).
+
+Under an asynchronous master, operators whose offspring happen to
+return faster submit more archive offers per unit time, so raw
+archive-membership counts conflate quality with arrival rate.  The
+``frequency_bias_correction`` flag normalises each operator's credit by
+its arrival frequency before the adaptive probability update.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BorgConfig,
+    BorgEngine,
+    BorgMOEA,
+    OperatorSelector,
+    restore_engine,
+    save_checkpoint,
+)
+from repro.core.checkpoint import engine_state
+from repro.core.operators import default_operators
+from repro.parallel import run_async_master_slave
+from repro.problems import DTLZ2
+from repro.stats import constant_timing
+
+
+def make_selector():
+    problem = DTLZ2(nobjs=2, nvars=11)
+    ops = default_operators(problem.lower, problem.upper, 4)
+    return OperatorSelector(ops, zeta=1.0)
+
+
+class TestSelectorNormalisation:
+    def test_no_arrivals_matches_legacy_update(self):
+        s1, s2 = make_selector(), make_selector()
+        counts = {op.name: i for i, op in enumerate(s1.operators)}
+        p1 = s1.update(counts)
+        p2 = s2.update(counts, arrivals=None)
+        assert np.array_equal(p1, p2)
+
+    def test_equal_arrivals_are_a_no_op(self):
+        s1, s2 = make_selector(), make_selector()
+        counts = {op.name: 3 * i for i, op in enumerate(s1.operators)}
+        arrivals = {op.name: 50 for op in s1.operators}
+        assert np.allclose(s1.update(counts), s2.update(counts, arrivals))
+
+    def test_fast_arriving_operator_is_discounted(self):
+        selector = make_selector()
+        a, b = selector.operators[0].name, selector.operators[1].name
+        counts = {a: 10, b: 10}
+        # a arrived 5x as often as b for the same archive credit, so
+        # per-arrival b is the better operator.
+        arrivals = {a: 100, b: 20}
+        selector.update(counts, arrivals)
+        assert selector.probability_of(b) > selector.probability_of(a)
+
+    def test_scaling_preserves_mean_credit(self):
+        # Normalisation reweights between operators without inflating
+        # the total credit mass of the active ones.
+        selector = make_selector()
+        names = [op.name for op in selector.operators]
+        counts = {n: 10 for n in names}
+        arrivals = {n: (i + 1) * 10 for i, n in enumerate(names)}
+        rates = np.array([arrivals[n] for n in names], dtype=float)
+        scaled = 10 * rates.mean() / rates
+        expected = (scaled + 1.0) / (scaled + 1.0).sum()
+        assert np.allclose(selector.update(counts, arrivals), expected)
+
+    def test_zero_arrival_operator_keeps_raw_count(self):
+        selector = make_selector()
+        names = [op.name for op in selector.operators]
+        counts = {n: 4 for n in names}
+        arrivals = {n: 10 for n in names}
+        arrivals[names[0]] = 0  # never arrived: no rate to normalise by
+        probs = selector.update(counts, arrivals)
+        # Others all have identical rates, so everyone keeps weight 4+zeta.
+        assert np.allclose(probs, np.full(len(names), 1.0 / len(names)))
+
+    def test_probabilities_remain_a_distribution(self):
+        rng = np.random.default_rng(0)
+        selector = make_selector()
+        names = [op.name for op in selector.operators]
+        for _ in range(50):
+            counts = {n: int(rng.integers(0, 30)) for n in names}
+            arrivals = {n: int(rng.integers(0, 500)) for n in names}
+            probs = selector.update(counts, arrivals)
+            assert np.all(probs > 0)
+            assert probs.sum() == pytest.approx(1.0)
+
+
+class TestEngineArrivalAccounting:
+    def test_arrivals_total_equals_nfe(self):
+        config = BorgConfig(initial_population_size=20)
+        moea = BorgMOEA(DTLZ2(nobjs=2, nvars=11), config, seed=5)
+        moea.run(max_nfe=600)
+        engine = moea.engine
+        assert sum(engine.arrival_counts.values()) == engine.nfe == 600
+        assert engine.arrival_counts["initial"] == 20
+
+    def test_flag_off_by_default_and_trajectory_unchanged(self):
+        base = BorgConfig(initial_population_size=20)
+        assert base.frequency_bias_correction is False
+        r1 = BorgMOEA(DTLZ2(nobjs=2, nvars=11), base, seed=9).run(max_nfe=500)
+        r2 = BorgMOEA(
+            DTLZ2(nobjs=2, nvars=11),
+            BorgConfig(initial_population_size=20),
+            seed=9,
+        ).run(max_nfe=500)
+        assert np.array_equal(np.asarray(r1.objectives), np.asarray(r2.objectives))
+
+    def test_run_with_correction_enabled(self):
+        config = BorgConfig(
+            initial_population_size=20, frequency_bias_correction=True
+        )
+        result = BorgMOEA(DTLZ2(nobjs=2, nvars=11), config, seed=5).run(
+            max_nfe=600
+        )
+        assert result.nfe == 600
+        probs = np.array(list(result.operator_probabilities.values()))
+        assert np.all(probs > 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_correction_changes_adaptation(self):
+        # With per-operator arrival skew (multi-offspring operators
+        # arrive more often), the corrected probabilities must diverge
+        # from the raw ones while everything else stays fixed.
+        def final_probs(flag):
+            config = BorgConfig(
+                initial_population_size=20, frequency_bias_correction=flag
+            )
+            engine = BorgEngine(
+                DTLZ2(nobjs=2, nvars=11),
+                config,
+                rng=np.random.default_rng(17),
+            )
+            moea = BorgMOEA.__new__(BorgMOEA)
+            moea.problem = engine.problem
+            moea.config = config
+            moea.engine = engine
+            moea.run(max_nfe=1200)
+            return engine.selector.probabilities.copy()
+
+        assert not np.array_equal(final_probs(False), final_probs(True))
+
+
+class TestArrivalCheckpointing:
+    def test_arrival_counts_roundtrip(self, tmp_path):
+        config = BorgConfig(initial_population_size=20)
+        moea = BorgMOEA(DTLZ2(nobjs=2, nvars=11), config, seed=2)
+        moea.run(max_nfe=300)
+        path = tmp_path / "c.ckpt"
+        save_checkpoint(moea.engine, path)
+        restored = restore_engine(DTLZ2(nobjs=2, nvars=11), path)
+        assert restored.arrival_counts == moea.engine.arrival_counts
+
+    def test_legacy_checkpoint_without_arrivals_restores_empty(self, tmp_path):
+        config = BorgConfig(initial_population_size=20)
+        moea = BorgMOEA(DTLZ2(nobjs=2, nvars=11), config, seed=2)
+        moea.run(max_nfe=200)
+        state = engine_state(moea.engine)
+        del state["arrival_counts"]  # simulate a pre-correction checkpoint
+        import pickle
+
+        payload = {
+            "format": "repro-borg-checkpoint",
+            "version": 1,
+            "meta": {"problem": moea.problem.name},
+            "state": state,
+        }
+        path = tmp_path / "legacy.ckpt"
+        path.write_bytes(pickle.dumps(payload))
+        restored = restore_engine(DTLZ2(nobjs=2, nvars=11), path)
+        assert sum(restored.arrival_counts.values()) == 0
+        assert restored.nfe == moea.engine.nfe
+
+
+class TestHeterogeneousWorkers:
+    def test_corrected_run_on_skewed_virtual_pool(self):
+        # A 1:8 speed skew makes fast workers deliver most arrivals;
+        # the corrected run must still complete and adapt sanely.
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        speeds = np.array([1.0, 1.0, 8.0, 8.0, 8.0, 8.0, 8.0])
+        config = BorgConfig(
+            initial_population_size=32, frequency_bias_correction=True
+        )
+        result = run_async_master_slave(
+            DTLZ2(nobjs=2, nvars=11),
+            8,
+            1000,
+            tm,
+            config=config,
+            seed=4,
+            worker_speeds=speeds,
+        )
+        assert result.nfe == 1000
+        probs = np.array(list(result.borg.operator_probabilities.values()))
+        assert np.all(probs > 0) and probs.sum() == pytest.approx(1.0)
