@@ -46,6 +46,7 @@ _EXPERIMENTS = (
     "efficiency_surface",
     "timelines",
     "bounds",
+    "islands",
     "ablation",
     "dynamics",
 )

@@ -13,8 +13,10 @@ from .checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointError,
     load_checkpoint,
+    load_islands_checkpoint,
     restore_engine,
     save_checkpoint,
+    save_islands_checkpoint,
 )
 from .dominance import (
     IncrementalFront,
@@ -47,6 +49,8 @@ __all__ = [
     "BorgResult",
     "save_checkpoint",
     "load_checkpoint",
+    "save_islands_checkpoint",
+    "load_islands_checkpoint",
     "restore_engine",
     "CheckpointError",
     "CHECKPOINT_VERSION",

@@ -40,15 +40,22 @@ if TYPE_CHECKING:
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "ISLANDS_CHECKPOINT_FORMAT",
+    "ISLANDS_CHECKPOINT_VERSION",
     "CheckpointError",
     "engine_state",
     "load_checkpoint",
+    "load_islands_checkpoint",
     "restore_engine",
     "save_checkpoint",
+    "save_islands_checkpoint",
 ]
 
 CHECKPOINT_FORMAT = "repro-borg-checkpoint"
 CHECKPOINT_VERSION = 1
+
+ISLANDS_CHECKPOINT_FORMAT = "repro-islands-checkpoint"
+ISLANDS_CHECKPOINT_VERSION = 1
 
 
 class CheckpointError(RuntimeError):
@@ -129,6 +136,27 @@ def engine_state(
     }
 
 
+def _atomic_pickle(payload: dict, path: str | os.PathLike) -> None:
+    """Atomically pickle ``payload`` to ``path`` (tmp + ``os.replace``),
+    so a crash mid-write never corrupts the latest good checkpoint."""
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_checkpoint(
     engine: "BorgEngine",
     path: str | os.PathLike,
@@ -146,22 +174,52 @@ def save_checkpoint(
         },
         "state": engine_state(engine, extra_pending=extra_pending),
     }
-    path = os.fspath(path)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
-    )
+    _atomic_pickle(payload, path)
+
+
+def save_islands_checkpoint(
+    state: dict,
+    path: str | os.PathLike,
+    meta: Optional[dict] = None,
+) -> None:
+    """Atomically write a multi-island runtime snapshot to ``path``.
+
+    ``state`` is the plain-data snapshot assembled by
+    :func:`repro.parallel.islands.run_sharded_islands` at a migration
+    epoch barrier: per-island engine states, worker arrival heaps,
+    in-flight candidates, timing-stream positions, migration RNG
+    states, plus the global epoch counters and the live cross-island
+    front.  Everything is plain picklable data -- which is exactly why
+    the runtime checkpoints *at* epoch barriers.
+    """
+    payload = {
+        "format": ISLANDS_CHECKPOINT_FORMAT,
+        "version": ISLANDS_CHECKPOINT_VERSION,
+        "meta": {"written_at": time.time(), **(meta or {})},
+        "state": state,
+    }
+    _atomic_pickle(payload, path)
+
+
+def load_islands_checkpoint(path: str | os.PathLike) -> dict:
+    """Load and validate a multi-island checkpoint payload."""
     try:
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != ISLANDS_CHECKPOINT_FORMAT
+    ):
+        raise CheckpointError(f"{path!r} is not a repro islands checkpoint")
+    version = payload.get("version")
+    if version != ISLANDS_CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"islands checkpoint version {version!r} is not supported "
+            f"(this build reads version {ISLANDS_CHECKPOINT_VERSION})"
+        )
+    return payload
 
 
 def load_checkpoint(path: str | os.PathLike) -> dict:

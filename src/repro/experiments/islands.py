@@ -1,0 +1,274 @@
+"""Beyond Eq. 3: where the sharded multi-master bound lands.
+
+The paper's master-saturation bound ``P_UB = TF / (2 TC + TA)`` (Eq. 3)
+caps a *single* master.  Sharding the run across M island masters
+multiplies the bound by M, minus the slice of each master's capacity
+spent on migration traffic,
+
+    P_UB^M = M * (1 - o) * TF / (2 TC + TA),
+    o = ((in + out) TC + in * migrants * TA) / delta.
+
+For every Table II (problem, TF) regime this experiment tabulates the
+single-master bound, the sharded bound for several island counts, the
+migration overhead fraction at the default epoch length, and the
+multi-master fastsim kernel's predicted makespan for the same total
+processor allocation and NFE budget -- the measured counterpart of the
+analytic bound, including the migration-interval sensitivity column
+(halving the epoch length doubles the overhead).
+
+Run ``python -m repro.experiments.islands`` (or ``repro experiment
+islands``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..models.analytical import multi_master_upper_bound, processor_upper_bound
+from ..models.fastsim import default_migration_interval, migration_degrees
+from ..models.simmodel import predict_async_time, predict_islands_time
+from ..stats.timing import RANGER_TC_SECONDS, TABLE2_TA_MEANS, ranger_timing, ta_mean_for
+from .reporting import format_table, write_csv
+from .sweep import run_cells
+
+__all__ = ["IslandsRow", "generate", "main", "HEADERS"]
+
+HEADERS = (
+    "Problem",
+    "TF",
+    "TA",
+    "M",
+    "P/island",
+    "P_UB (Eq.3)",
+    "P_UB^M",
+    "overhead %",
+    "T_pred [s]",
+    "speedup",
+    "regime",
+)
+
+_TF_VALUES = (0.001, 0.01, 0.1)
+_ISLAND_COUNTS = (4, 16, 64)
+_TOTAL_PROCESSORS = 1024
+_NFE_TOTAL = 100_000
+
+
+@dataclass(frozen=True)
+class IslandsRow:
+    """One operating point: M islands sharing a fixed allocation."""
+
+    problem: str
+    tf: float
+    ta: float
+    islands: int
+    processors_per_island: int
+    single_bound: float
+    sharded_bound: float
+    overhead: float
+    predicted_time: float
+    single_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.single_time / self.predicted_time if self.predicted_time else 0.0
+
+    @property
+    def regime(self) -> str:
+        """Whether the allocation's workers fit under the sharded bound."""
+        workers = self.islands * (self.processors_per_island - 1)
+        if workers > self.sharded_bound:
+            return "saturated"
+        if workers > self.single_bound:
+            return "unlocked"
+        return "under P_UB"
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.problem,
+            self.tf,
+            f"{self.ta:.2e}",
+            self.islands,
+            self.processors_per_island,
+            round(self.single_bound, 1),
+            round(self.sharded_bound, 1),
+            round(100.0 * self.overhead, 3),
+            round(self.predicted_time, 2),
+            round(self.speedup, 2),
+            self.regime,
+        )
+
+
+def _islands_row(
+    problem: str,
+    tf: float,
+    islands: int,
+    topology: str,
+    migrants: int,
+    seed: int,
+) -> IslandsRow:
+    tc = RANGER_TC_SECONDS
+    ta = ta_mean_for(problem, _TOTAL_PROCESSORS)
+    timing = ranger_timing(problem, _TOTAL_PROCESSORS, tf)
+    single_bound = processor_upper_bound(tf, tc, ta)
+    single_time = predict_async_time(
+        _TOTAL_PROCESSORS, _NFE_TOTAL, timing, seed=seed, sim_nfe=2000
+    )
+
+    ppi = _TOTAL_PROCESSORS // islands
+    nfe_per_island = _NFE_TOTAL // islands
+    if islands == 1:
+        return IslandsRow(
+            problem=problem,
+            tf=tf,
+            ta=ta,
+            islands=1,
+            processors_per_island=_TOTAL_PROCESSORS,
+            single_bound=single_bound,
+            sharded_bound=single_bound,
+            overhead=0.0,
+            predicted_time=single_time,
+            single_time=single_time,
+        )
+
+    in_deg, out_deg = migration_degrees(topology, islands)
+    interval = default_migration_interval(ppi, nfe_per_island, timing)
+    # The binding island class: highest-degree master (the hub under
+    # the hierarchical topology; any island on ring/full).
+    binding = max(range(islands), key=lambda i: (in_deg[i], out_deg[i]))
+    cost = (int(in_deg[binding]) + int(out_deg[binding])) * tc + int(
+        in_deg[binding]
+    ) * migrants * ta
+    overhead = cost / interval
+    sharded_bound = multi_master_upper_bound(
+        tf,
+        tc,
+        ta,
+        islands,
+        migration_interval=interval,
+        in_degree=int(in_deg[binding]),
+        out_degree=int(out_deg[binding]),
+        migrants=migrants,
+    )
+    predicted = predict_islands_time(
+        islands,
+        ppi,
+        nfe_per_island,
+        timing,
+        seed=seed,
+        sim_nfe=2000,
+        topology=topology,
+        migrants=migrants,
+        max_sim_islands=4,
+    )
+    return IslandsRow(
+        problem=problem,
+        tf=tf,
+        ta=ta,
+        islands=islands,
+        processors_per_island=ppi,
+        single_bound=single_bound,
+        sharded_bound=sharded_bound,
+        overhead=overhead,
+        predicted_time=predicted,
+        single_time=single_time,
+    )
+
+
+def generate(
+    topology: str = "ring",
+    migrants: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+) -> list[IslandsRow]:
+    cells = [
+        (problem, tf, m, topology, migrants, seed)
+        for problem in TABLE2_TA_MEANS
+        for tf in _TF_VALUES
+        for m in (1,) + _ISLAND_COUNTS
+    ]
+    return run_cells(_islands_row, cells, workers=workers)
+
+
+def interval_sensitivity(
+    problem: str = "DTLZ2",
+    tf: float = 0.001,
+    islands: int = 16,
+    migrants: int = 1,
+) -> list[tuple[float, float, float]]:
+    """(interval multiplier, overhead fraction, sharded bound) rows
+    showing how shortening the migration epoch erodes the M-master
+    bound -- the docs' migration-interval sensitivity curve."""
+    tc = RANGER_TC_SECONDS
+    ta = ta_mean_for(problem, _TOTAL_PROCESSORS)
+    timing = ranger_timing(problem, _TOTAL_PROCESSORS, tf)
+    ppi = _TOTAL_PROCESSORS // islands
+    base = default_migration_interval(ppi, _NFE_TOTAL // islands, timing)
+    rows = []
+    for mult in (4.0, 1.0, 0.25, 0.0625, 0.015625):
+        delta = base * mult
+        cost = 2 * tc + migrants * ta
+        bound = multi_master_upper_bound(
+            tf,
+            tc,
+            ta,
+            islands,
+            migration_interval=delta,
+            in_degree=1,
+            out_degree=1,
+            migrants=migrants,
+        )
+        rows.append((mult, cost / delta, bound))
+    return rows
+
+
+def main(argv=None) -> list[IslandsRow]:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Sharded multi-master bound vs the single-master P_UB"
+    )
+    parser.add_argument("--csv", type=str, default=None)
+    parser.add_argument(
+        "--topology", choices=("ring", "full", "hier"), default="ring"
+    )
+    parser.add_argument("--migrants", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (0 = one per CPU)"
+    )
+    args = parser.parse_args(argv)
+
+    rows = generate(
+        topology=args.topology,
+        migrants=args.migrants,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(
+        format_table(
+            HEADERS,
+            [r.as_tuple() for r in rows],
+            title=(
+                f"Multi-master bound vs Eq. 3 "
+                f"(P = {_TOTAL_PROCESSORS}, N = {_NFE_TOTAL}, "
+                f"topology = {args.topology})"
+            ),
+        )
+    )
+    print(
+        "\nMigration-interval sensitivity (DTLZ2, TF = 0.001, M = 16, ring):"
+    )
+    for mult, overhead, bound in interval_sensitivity():
+        print(
+            f"  delta x {mult:<8g} overhead = {100 * overhead:7.3f}%   "
+            f"P_UB^M = {bound:9.1f}"
+        )
+    if args.csv:
+        write_csv(args.csv, HEADERS, [r.as_tuple() for r in rows])
+        print(f"wrote {args.csv}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ from .analytical import (
     AnalyticalModel,
     async_parallel_time,
     efficiency,
+    multi_master_upper_bound,
     processor_lower_bound,
     processor_upper_bound,
     serial_time,
@@ -24,7 +25,16 @@ from .cantupaz import (
     sync_speedup,
 )
 from .compare import ModelComparison, compare_models
-from .fastsim import simulate_async_fast, simulate_sync_fast
+from .fastsim import (
+    MIGRATION_TOPOLOGIES,
+    default_migration_interval,
+    island_seed_streams,
+    migration_degrees,
+    migration_links,
+    simulate_async_fast,
+    simulate_islands_fast,
+    simulate_sync_fast,
+)
 from .faults import (
     ChaosSummary,
     FaultyOutcome,
@@ -34,11 +44,15 @@ from .faults import (
 )
 from .queueing import QueueingModel, RepairmanSolution, solve_repairman
 from .simmodel import (
+    IslandsOutcome,
     SimulationOutcome,
     predict_async_time,
+    predict_islands_time,
     predict_sync_time,
     simulate_async,
     simulate_async_reference,
+    simulate_islands,
+    simulate_islands_reference,
     simulate_sync,
     simulate_sync_reference,
 )
@@ -50,6 +64,7 @@ __all__ = [
     "efficiency",
     "processor_upper_bound",
     "processor_lower_bound",
+    "multi_master_upper_bound",
     "AnalyticalModel",
     "sync_parallel_time",
     "sync_speedup",
@@ -57,14 +72,24 @@ __all__ = [
     "expected_generation_max",
     "SynchronousModel",
     "SimulationOutcome",
+    "IslandsOutcome",
     "simulate_async",
     "simulate_sync",
+    "simulate_islands",
     "simulate_async_reference",
     "simulate_sync_reference",
+    "simulate_islands_reference",
     "simulate_async_fast",
     "simulate_sync_fast",
+    "simulate_islands_fast",
+    "island_seed_streams",
+    "default_migration_interval",
+    "migration_links",
+    "migration_degrees",
+    "MIGRATION_TOPOLOGIES",
     "predict_async_time",
     "predict_sync_time",
+    "predict_islands_time",
     "ModelComparison",
     "compare_models",
     "FaultyOutcome",

@@ -21,6 +21,7 @@ __all__ = [
     "efficiency",
     "processor_upper_bound",
     "processor_lower_bound",
+    "multi_master_upper_bound",
     "AnalyticalModel",
 ]
 
@@ -76,6 +77,54 @@ def processor_upper_bound(tf: float, tc: float, ta: float, batch: int = 1) -> fl
     if denom <= 0:
         return math.inf
     return batch * tf / denom
+
+
+def multi_master_upper_bound(
+    tf: float,
+    tc: float,
+    ta: float,
+    islands: int,
+    migration_interval: float = math.inf,
+    in_degree: int = 0,
+    out_degree: int = 0,
+    migrants: int = 1,
+) -> float:
+    """Worker-saturation bound of a sharded M-master allocation.
+
+    Eq. 3's ``P_UB = TF / (2 TC + TA)`` caps a *single* master.  With M
+    islands each master serves only its own shard, but spends a fraction
+    of every migration epoch ``delta`` on exchange traffic,
+
+        o = (out_deg TC + in_deg TC + in_deg * migrants * TA) / delta,
+
+    leaving ``1 - o`` of its capacity for results.  The sharded
+    saturation point is therefore
+
+        P_UB^M = M * (1 - o) * TF / (2 TC + TA),
+
+    reducing to ``M * P_UB`` with no migration (``delta = inf``) and to
+    Eq. 3 for M = 1.  Returns 0 when migration alone saturates a master
+    (``o >= 1``).  Degrees default to 0; pass the per-island values from
+    :func:`repro.models.fastsim.migration_degrees` (for the hierarchical
+    topology the hub's degrees differ from the leaves' -- the bound then
+    applies per island class, and the hub is the binding one).
+    """
+    if islands < 1:
+        raise ValueError("need at least one island")
+    if migrants < 1:
+        raise ValueError("migrants must be >= 1")
+    single = processor_upper_bound(tf, tc, ta)
+    if not math.isfinite(single):
+        return math.inf
+    if math.isinf(migration_interval) or (in_degree == 0 and out_degree == 0):
+        overhead = 0.0
+    else:
+        if migration_interval <= 0:
+            raise ValueError("migration_interval must be positive")
+        cost = (out_degree + in_degree) * tc + in_degree * migrants * ta
+        overhead = cost / migration_interval
+    capacity = max(0.0, 1.0 - overhead)
+    return islands * capacity * single
 
 
 def processor_lower_bound(tf: float, tc: float, ta: float) -> float:

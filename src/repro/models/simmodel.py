@@ -32,7 +32,7 @@ simulation in milliseconds rather than simulating every evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -42,12 +42,16 @@ from ..stats.timing import TimingModel, TimingSampler
 
 __all__ = [
     "SimulationOutcome",
+    "IslandsOutcome",
     "simulate_async",
     "simulate_sync",
+    "simulate_islands",
     "simulate_async_reference",
     "simulate_sync_reference",
+    "simulate_islands_reference",
     "predict_async_time",
     "predict_sync_time",
+    "predict_islands_time",
 ]
 
 Seed = Union[int, np.random.SeedSequence, None]
@@ -72,6 +76,56 @@ class SimulationOutcome:
 
     def efficiency(self, serial_time: float) -> float:
         """E_P = T_S / (P T_P)."""
+        if self.elapsed <= 0:
+            return float("nan")
+        return serial_time / (self.processors * self.elapsed)
+
+
+@dataclass(frozen=True)
+class IslandsOutcome:
+    """Timing prediction for a sharded multi-master (island) run.
+
+    ``per_island`` holds the :class:`SimulationOutcome` of each
+    *simulated* island (ids in ``island_ids``); when ``estimated`` is
+    true only a subsample of exchangeable islands was simulated and
+    ``elapsed`` is the Gumbel extreme-value estimate of the full
+    makespan.  ``group_of``/``group_sizes`` record the exchangeability
+    partition the estimate ran over (islands with identical migration
+    degrees and timing model), aligned with ``per_island``.
+    """
+
+    #: Global makespan: the slowest island's completion time.
+    elapsed: float
+    islands: int
+    #: Total processors = islands * processors_per_island.
+    processors: int
+    #: Total evaluations = islands * max_nfe_per_island.
+    nfe: int
+    topology: str
+    migration_interval: float
+    migrants: int
+    per_island: tuple[SimulationOutcome, ...]
+    island_ids: tuple[int, ...]
+    estimated: bool
+    #: Migration exchanges each simulated island served before finishing.
+    migration_services: tuple[int, ...] = ()
+    group_of: tuple[int, ...] = ()
+    group_sizes: tuple[int, ...] = ()
+
+    @property
+    def processors_per_island(self) -> int:
+        return self.processors // self.islands
+
+    @property
+    def mean_master_utilization(self) -> float:
+        if not self.per_island:
+            return 0.0
+        return sum(o.master_utilization for o in self.per_island) / len(
+            self.per_island
+        )
+
+    def efficiency(self, serial_time: float) -> float:
+        """E_P = T_S / (P T_P) for the whole sharded allocation."""
         if self.elapsed <= 0:
             return float("nan")
         return serial_time / (self.processors * self.elapsed)
@@ -112,6 +166,52 @@ def simulate_sync(
 
         return simulate_sync_fast(processors, max_nfe, timing, seed=seed)
     return simulate_sync_reference(processors, max_nfe, timing, seed=seed)
+
+
+def simulate_islands(
+    islands: int,
+    processors_per_island: int,
+    max_nfe_per_island: int,
+    timing: Union[TimingModel, Sequence[TimingModel]],
+    migration_interval: Optional[float] = None,
+    topology: str = "ring",
+    migrants: int = 1,
+    seed: Seed = None,
+    max_sim_islands: Optional[int] = None,
+) -> IslandsOutcome:
+    """Simulate a sharded multi-master run: M islands, each an async
+    master-slave instance, exchanging archive members at every global
+    epoch ``T_k = k * migration_interval`` over the given topology.
+
+    Dispatches to the multi-master fastsim kernel when the fast path is
+    enabled; ``REPRO_FASTPATH=0`` restores the simkit reference (which
+    always simulates every island -- ``max_sim_islands`` is a kernel
+    optimisation and is ignored on the reference path).
+    """
+    if fastpath.enabled():
+        from .fastsim import simulate_islands_fast
+
+        return simulate_islands_fast(
+            islands,
+            processors_per_island,
+            max_nfe_per_island,
+            timing,
+            migration_interval=migration_interval,
+            topology=topology,
+            migrants=migrants,
+            seed=seed,
+            max_sim_islands=max_sim_islands,
+        )
+    return simulate_islands_reference(
+        islands,
+        processors_per_island,
+        max_nfe_per_island,
+        timing,
+        migration_interval=migration_interval,
+        topology=topology,
+        migrants=migrants,
+        seed=seed,
+    )
 
 
 def simulate_async_reference(
@@ -233,6 +333,154 @@ def simulate_sync_reference(
     )
 
 
+def simulate_islands_reference(
+    islands: int,
+    processors_per_island: int,
+    max_nfe_per_island: int,
+    timing: Union[TimingModel, Sequence[TimingModel]],
+    migration_interval: Optional[float] = None,
+    topology: str = "ring",
+    migrants: int = 1,
+    seed: Seed = None,
+) -> IslandsOutcome:
+    """Discrete-event reference for the multi-master island model.
+
+    All M islands share one virtual clock.  Each island master is a
+    FIFO :class:`~repro.simkit.resources.Resource` serving its own
+    workers exactly as :func:`simulate_async_reference` does; a per-
+    island ticker process additionally enqueues a migration-exchange
+    request at every global epoch ``T_k = k * migration_interval``,
+    holding the master for out-degree TC draws (sends), in-degree TC
+    draws (receives) and ``in_degree * migrants`` TA draws (ingests),
+    drawn at grant time in that order.  Every island draws from its own
+    :func:`~repro.models.fastsim.island_seed_streams` child, so the
+    per-island timings here are bit-identical to the fastsim kernel's
+    (elapsed / busy / nfe / checkpoints; the wait and queue statistics
+    additionally observe the post-completion drain on this path).
+    """
+    from .fastsim import (
+        _island_groups,
+        _island_timings,
+        default_migration_interval,
+        island_seed_streams,
+        migration_degrees,
+    )
+
+    if islands < 1:
+        raise ValueError("need at least one island")
+    if processors_per_island < 2:
+        raise ValueError("each island needs a master and a worker")
+    if max_nfe_per_island < 1:
+        raise ValueError("max_nfe_per_island must be >= 1")
+    if migrants < 1:
+        raise ValueError("migrants must be >= 1")
+
+    timings = _island_timings(timing, islands)
+    in_deg, out_deg = migration_degrees(topology, islands)
+    if migration_interval is None:
+        migration_interval = default_migration_interval(
+            processors_per_island, max_nfe_per_island, timings[0]
+        )
+    interval = float(migration_interval)
+    if interval <= 0:
+        raise ValueError("migration_interval must be positive")
+
+    env = Environment()
+    streams = island_seed_streams(seed, islands)
+    samplers = [
+        TimingSampler(timings[i], streams[i][0]) for i in range(islands)
+    ]
+    masters = [Resource(env, capacity=1) for _ in range(islands)]
+    dones = [env.event() for _ in range(islands)]
+    states = [{"nfe": 0} for _ in range(islands)]
+    quarter = max(1, max_nfe_per_island // 4)
+    checkpoints: list[list[tuple[int, float]]] = [[] for _ in range(islands)]
+    exchange_counts = [0] * islands
+
+    def worker(env: Environment, i: int):
+        sampler, master, done = samplers[i], masters[i], dones[i]
+        state = states[i]
+        with master.request() as req:
+            yield req
+            yield env.timeout(sampler.ta() + sampler.tc())
+        while not done.triggered:
+            yield env.timeout(sampler.tf())
+            with master.request() as req:
+                yield req
+                if done.triggered:
+                    return
+                yield env.timeout(sampler.tc() + sampler.ta() + sampler.tc())
+                state["nfe"] += 1
+                if state["nfe"] % quarter == 0:
+                    checkpoints[i].append((state["nfe"], env.now))
+                if state["nfe"] >= max_nfe_per_island:
+                    if not done.triggered:
+                        done.succeed(env.now)
+                    return
+
+    def exchange(env: Environment, i: int):
+        with masters[i].request() as req:
+            yield req
+            if dones[i].triggered:
+                return
+            sampler = samplers[i]
+            hold = 0.0
+            for _ in range(int(out_deg[i])):
+                hold += sampler.tc()
+            for _ in range(int(in_deg[i])):
+                hold += sampler.tc()
+            for _ in range(int(in_deg[i]) * migrants):
+                hold += sampler.ta()
+            exchange_counts[i] += 1
+            yield env.timeout(hold)
+
+    def ticker(env: Environment, i: int):
+        # Epoch times accumulate by repeated timeout(interval), matching
+        # the kernel's `next_epoch = a + interval` bit for bit.
+        while True:
+            yield env.timeout(interval)
+            if dones[i].triggered:
+                return
+            env.process(exchange(env, i), name=f"island{i}-exchange")
+
+    for i in range(islands):
+        for w in range(processors_per_island - 1):
+            env.process(worker(env, i), name=f"island{i}-worker{w}")
+        if islands > 1 and (in_deg[i] > 0 or out_deg[i] > 0):
+            env.process(ticker(env, i), name=f"island{i}-ticker")
+    finished = env.all_of(dones)
+    env.run(until=finished)
+
+    per_island = tuple(
+        SimulationOutcome(
+            elapsed=float(dones[i].value),
+            nfe=states[i]["nfe"],
+            processors=processors_per_island,
+            master_busy=masters[i].busy_time,
+            master_mean_wait=masters[i].mean_wait(),
+            master_max_queue=masters[i].max_queue_length,
+            checkpoints=tuple(checkpoints[i]),
+        )
+        for i in range(islands)
+    )
+    group_of, group_sizes = _island_groups(in_deg, out_deg, timings)
+    return IslandsOutcome(
+        elapsed=max(o.elapsed for o in per_island),
+        islands=islands,
+        processors=islands * processors_per_island,
+        nfe=sum(o.nfe for o in per_island),
+        topology=topology,
+        migration_interval=interval,
+        migrants=migrants,
+        per_island=per_island,
+        island_ids=tuple(range(islands)),
+        estimated=False,
+        migration_services=tuple(exchange_counts),
+        group_of=tuple(group_of),
+        group_sizes=tuple(group_sizes),
+    )
+
+
 def _extrapolate(outcome: SimulationOutcome, target_nfe: int) -> float:
     """Project a truncated simulation to ``target_nfe`` evaluations
     using the steady-state rate between the first and last checkpoint
@@ -289,3 +537,57 @@ def predict_sync_time(
     budget = sim_nfe or max(2000, 8 * processors)
     outcome = simulate_sync(processors, min(nfe, budget), timing, seed=seed)
     return _extrapolate(outcome, nfe)
+
+
+def predict_islands_time(
+    islands: int,
+    processors_per_island: int,
+    nfe_per_island: int,
+    timing: Union[TimingModel, Sequence[TimingModel]],
+    seed: Seed = None,
+    sim_nfe: Optional[int] = None,
+    migration_interval: Optional[float] = None,
+    topology: str = "ring",
+    migrants: int = 1,
+    max_sim_islands: Optional[int] = None,
+) -> float:
+    """Predicted makespan of a sharded run of ``islands`` instances for
+    ``nfe_per_island`` evaluations each.
+
+    Simulates a truncated per-island budget (default: enough for every
+    worker to cycle ~8 times, at least 2,000 NFE), extrapolates each
+    simulated island at its steady-state checkpoint rate, and re-applies
+    the per-group extreme-value max.  When ``migration_interval`` is
+    omitted the default epoch length is derived from the *truncated*
+    horizon so the simulated window sees the same number of exchanges
+    per run (and hence the same relative migration overhead) as the
+    full-length default would.  ``max_sim_islands`` caps how many
+    islands are simulated (fast path only); with it, a P = 10^6
+    allocation is predicted in milliseconds.
+    """
+    from .fastsim import _expected_max
+
+    budget = sim_nfe or max(2000, 8 * (processors_per_island - 1))
+    outcome = simulate_islands(
+        islands,
+        processors_per_island,
+        min(nfe_per_island, budget),
+        timing,
+        migration_interval=migration_interval,
+        topology=topology,
+        migrants=migrants,
+        seed=seed,
+        max_sim_islands=max_sim_islands,
+    )
+    extrapolated = [
+        _extrapolate(o, nfe_per_island) for o in outcome.per_island
+    ]
+    if not outcome.group_of:
+        return max(extrapolated)
+    by_group: dict[int, list[float]] = {}
+    for g, value in zip(outcome.group_of, extrapolated):
+        by_group.setdefault(g, []).append(value)
+    return max(
+        _expected_max(vals, outcome.group_sizes[g])
+        for g, vals in by_group.items()
+    )

@@ -10,6 +10,7 @@ Backends:
   multi-master sizing and the island-model preview.
 """
 
+from .islands import IslandShard, ShardedRunResult, run_sharded_islands
 from .results import ParallelRunResult
 from .runner import BACKENDS, optimize
 from .supervision import FaultStats, NoLiveWorkersError, SupervisorConfig
@@ -19,6 +20,7 @@ from .topology import (
     IslandResult,
     MultiMasterResult,
     TopologyPlan,
+    default_partition_candidates,
     run_island_model,
     run_multi_master,
     suggest_partition,
@@ -37,9 +39,13 @@ __all__ = [
     "run_threaded_master_slave",
     "run_process_master_slave",
     "TopologyPlan",
+    "default_partition_candidates",
     "suggest_partition",
     "MultiMasterResult",
     "run_multi_master",
     "IslandResult",
     "run_island_model",
+    "IslandShard",
+    "ShardedRunResult",
+    "run_sharded_islands",
 ]

@@ -26,15 +26,17 @@ import numpy as np
 from ..core.archive import EpsilonBoxArchive
 from ..core.borg import BorgConfig, BorgEngine
 from ..models.analytical import serial_time
+from ..models.fastsim import island_seed_streams
 from ..models.simmodel import predict_async_time
 from ..problems.base import Problem
 from ..simkit import Environment, Resource
-from ..stats.timing import TimingModel
+from ..stats.timing import TimingModel, TimingSampler
 from .results import ParallelRunResult
 from .virtual import run_async_master_slave
 
 __all__ = [
     "TopologyPlan",
+    "default_partition_candidates",
     "suggest_partition",
     "run_multi_master",
     "MultiMasterResult",
@@ -42,7 +44,21 @@ __all__ = [
     "IslandResult",
 ]
 
-_DEFAULT_CANDIDATES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+def default_partition_candidates(total_processors: int) -> tuple[int, ...]:
+    """Candidate instance sizes for ``suggest_partition``: every power
+    of two from 4 up to the available processor count, so the candidate
+    grid always scales with the allocation instead of stopping at a
+    hard-coded 1024.  Allocations too small for even the smallest
+    power-of-two instance fall back to one instance of everything."""
+    if total_processors < 2:
+        raise ValueError("need at least 2 processors")
+    candidates = tuple(
+        1 << k
+        for k in range(2, total_processors.bit_length() + 1)
+        if (1 << k) <= total_processors
+    )
+    return candidates or (total_processors,)
 
 
 @dataclass(frozen=True)
@@ -68,7 +84,7 @@ def suggest_partition(
     total_processors: int,
     timing: TimingModel,
     nfe: int = 10_000,
-    candidates: Sequence[int] = _DEFAULT_CANDIDATES,
+    candidates: Optional[Sequence[int]] = None,
     seed: int = 0,
 ) -> TopologyPlan:
     """Size master-slave instances with the simulation model (§VI).
@@ -76,9 +92,14 @@ def suggest_partition(
     Evaluates the predicted efficiency of each candidate instance size
     and returns the plan with the highest per-instance efficiency,
     breaking ties toward larger instances (fewer redundant masters).
+    ``candidates`` defaults to :func:`default_partition_candidates`
+    (powers of two up to the allocation); pass an explicit sequence to
+    restrict or extend the grid.
     """
     if total_processors < 2:
         raise ValueError("need at least 2 processors")
+    if candidates is None:
+        candidates = default_partition_candidates(total_processors)
     best: Optional[TopologyPlan] = None
     for p in sorted(set(candidates)):
         if p < 2 or p > total_processors:
@@ -162,9 +183,11 @@ def run_multi_master(
         raise ValueError("plan contains no instances")
     epsilons = results[0].borg.archive.epsilons
     merged = EpsilonBoxArchive(epsilons)
+    # Bulk merge: one indexed batch insert per instance archive instead
+    # of an offer loop (parity-tested against the sequential merge in
+    # tests/test_parallel_topology.py).
     for r in results:
-        for solution in r.borg.archive:
-            merged.add(solution)
+        merged.add_all(list(r.borg.archive))
     return MultiMasterResult(
         instances=results,
         merged_archive=merged,
@@ -206,21 +229,31 @@ def run_island_model(
     ``migration_interval`` virtual seconds each island sends a random
     archive member to the next island around a ring, where it is
     ingested as if freshly evaluated (cost-free abstraction: migration
-    messages are assumed to overlap with evaluation).
+    messages are assumed to overlap with evaluation; the sharded
+    runtime :func:`repro.parallel.islands.run_sharded_islands` charges
+    real exchange costs).
+
+    Randomness follows the per-island ``SeedSequence.spawn`` layout of
+    :func:`repro.models.fastsim.island_seed_streams`: every island
+    draws its timing, migration, and engine streams from its own
+    children, so island *i*'s trajectory is a pure function of
+    ``(seed, i)`` -- reproducible and interleaving-invariant no matter
+    how many islands share the clock.
     """
     if islands < 1:
         raise ValueError("need at least one island")
     if processors_per_island < 2:
         raise ValueError("each island needs a master and a worker")
     env = Environment()
-    rng = np.random.default_rng(seed)
-    trng = np.random.default_rng(seed + 0x5EED)
+    streams = island_seed_streams(seed, islands)
+    samplers = [TimingSampler(timing, streams[i][0]) for i in range(islands)]
+    migration_rngs = [np.random.default_rng(streams[i][1]) for i in range(islands)]
     problems = [problem_factory() for _ in range(islands)]
     engines = [
         BorgEngine(
             problems[i],
             config or BorgConfig(),
-            rng=np.random.default_rng(seed + 104729 * (i + 1)),
+            rng=np.random.default_rng(streams[i][2]),
         )
         for i in range(islands)
     ]
@@ -242,22 +275,19 @@ def run_island_model(
         problem = problems[island]
         master = masters[island]
         done = done_events[island]
+        sampler = samplers[island]
         with master.request() as req:
             yield req
-            yield env.timeout(timing.sample_ta(trng) + timing.sample_tc(trng))
+            yield env.timeout(sampler.ta() + sampler.tc())
             candidate = engine.next_candidate()
         while not done.triggered:
-            yield env.timeout(timing.sample_tf(trng))
+            yield env.timeout(sampler.tf())
             problem.evaluate(candidate)
             with master.request() as req:
                 yield req
                 if done.triggered:
                     return
-                yield env.timeout(
-                    timing.sample_tc(trng)
-                    + timing.sample_ta(trng)
-                    + timing.sample_tc(trng)
-                )
+                yield env.timeout(sampler.tc() + sampler.ta() + sampler.tc())
                 engine.ingest(candidate)
                 if engine.nfe >= max_nfe_per_island:
                     if not done.triggered:
@@ -272,13 +302,16 @@ def run_island_model(
             for i, engine in enumerate(engines):
                 if len(engine.archive) == 0:
                     continue
-                neighbour = engines[(i + 1) % islands]
-                migrant = engine.archive.sample(rng).copy()
+                neighbour_id = (i + 1) % islands
+                neighbour = engines[neighbour_id]
+                # Sender samples with its own migration stream; the
+                # receiver's stream drives its replacement decision.
+                migrant = engine.archive.sample(migration_rngs[i]).copy()
                 migrant.operator = "migration"
                 # Insert directly: a migrant is already evaluated, so it
                 # must not advance the neighbour's NFE budget.
                 if len(neighbour.population):
-                    neighbour.population.add(migrant, rng)
+                    neighbour.population.add(migrant, migration_rngs[neighbour_id])
                 else:
                     neighbour.population.append(migrant)
                 neighbour.archive.add(migrant)

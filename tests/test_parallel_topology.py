@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core import BorgConfig
+from repro.core import BorgConfig, EpsilonBoxArchive
 from repro.parallel import (
     TopologyPlan,
+    default_partition_candidates,
     run_island_model,
     run_multi_master,
     suggest_partition,
@@ -25,6 +26,33 @@ def config():
         epsilons=[0.02, 0.02],
         min_population_size=8,
     )
+
+
+class TestDefaultPartitionCandidates:
+    def test_scales_with_allocation(self):
+        # The grid must follow the available P instead of stopping at a
+        # hard-coded ceiling.
+        assert default_partition_candidates(1024)[-1] == 1024
+        assert default_partition_candidates(4096)[-1] == 4096
+        assert default_partition_candidates(5000)[-1] == 4096
+
+    def test_powers_of_two_from_four(self):
+        assert default_partition_candidates(64) == (4, 8, 16, 32, 64)
+
+    def test_tiny_allocation_falls_back_to_everything(self):
+        assert default_partition_candidates(3) == (3,)
+        assert default_partition_candidates(2) == (2,)
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ValueError):
+            default_partition_candidates(1)
+
+    def test_suggest_partition_uses_derived_grid(self):
+        # With no explicit candidates a 2048-processor allocation must
+        # be able to pick a 2048-wide instance when TF is huge.
+        tm = constant_timing(tf=30.0, tc=6e-6, ta=29e-6)
+        plan = suggest_partition(2048, tm, nfe=2000)
+        assert plan.processors_per_instance > 1024
 
 
 class TestSuggestPartition:
@@ -96,6 +124,23 @@ class TestMultiMaster:
                         and np.any(boxes[i] < boxes[j])
                     )
 
+    def test_bulk_merge_matches_sequential_offer_loop(self, config):
+        # The merge uses EpsilonBoxArchive.add_all; the result must be
+        # identical to the old per-solution offer loop.
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        plan = TopologyPlan(48, 3, 16, 0.9, 0)
+        result = run_multi_master(factory, plan, 500, tm, config=config, seed=9)
+        sequential = EpsilonBoxArchive(result.merged_archive.epsilons)
+        for r in result.instances:
+            for solution in r.borg.archive:
+                sequential.add(solution)
+        F_bulk = np.asarray(result.merged_objectives, dtype=float)
+        F_seq = np.asarray(sequential.objectives, dtype=float)
+        np.testing.assert_array_equal(
+            F_bulk[np.lexsort(F_bulk.T[::-1])],
+            F_seq[np.lexsort(F_seq.T[::-1])],
+        )
+
     def test_empty_plan_rejected(self, config):
         tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
         plan = TopologyPlan(8, 0, 16, 0.9, 8)
@@ -130,6 +175,24 @@ class TestIslandModel:
             max_nfe_per_island=200, timing=tm, config=config, seed=6,
         )
         assert result.migrations == 0
+
+    def test_reproducible_per_island_streams(self, config):
+        # Satellite contract: per-island SeedSequence children make the
+        # run a pure function of (seed, island count).
+        tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
+        a = run_island_model(
+            factory, islands=3, processors_per_island=4,
+            max_nfe_per_island=300, timing=tm, config=config, seed=8,
+        )
+        b = run_island_model(
+            factory, islands=3, processors_per_island=4,
+            max_nfe_per_island=300, timing=tm, config=config, seed=8,
+        )
+        assert a.elapsed == b.elapsed
+        assert a.migrations == b.migrations
+        Fa = np.asarray(a.merged_objectives, dtype=float)
+        Fb = np.asarray(b.merged_objectives, dtype=float)
+        np.testing.assert_array_equal(Fa, Fb)
 
     def test_validation(self, config):
         tm = constant_timing(tf=0.01, tc=6e-6, ta=29e-6)
