@@ -6,7 +6,10 @@ Commands:
 * ``experiment`` -- regenerate a table/figure by name;
 * ``fit`` -- fit timing samples to candidate distributions (the R
   ``fitdistr`` workflow of paper §IV-B);
-* ``bounds`` -- evaluate Eqs. 3-4 for a custom (TF, TC, TA) point.
+* ``bounds`` -- evaluate Eqs. 3-4 for a custom (TF, TC, TA) point;
+* ``study`` -- durable optimization service: create a crash-safe study
+  and attach worker processes (``create``/``worker``/``status``/
+  ``export``).
 """
 
 from __future__ import annotations
@@ -139,6 +142,55 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-rate", type=float, default=0.05,
                        help="per-evaluation worker crash probability")
     chaos.add_argument("--seed", type=int, default=20130520)
+
+    study = sub.add_parser(
+        "study",
+        help="durable optimization-as-a-service: create a study in "
+        "crash-safe storage and attach worker processes to co-drive it "
+        "(docs/RESILIENCE.md §6)",
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+
+    create = study_sub.add_parser(
+        "create", help="create a named study in a storage file"
+    )
+    create.add_argument("--storage", required=True,
+                        help="journal path, .db/.sqlite path, or memory://")
+    create.add_argument("--name", default="default")
+    create.add_argument("--problem", choices=sorted(_PROBLEMS),
+                        default="dtlz2")
+    create.add_argument("--nfe", type=int, default=10_000)
+    create.add_argument("--seed", type=int, default=None)
+    create.add_argument("--exist-ok", action="store_true")
+
+    worker = study_sub.add_parser(
+        "worker",
+        help="attach one worker process to a study (run N of these "
+        "concurrently; leader election picks the master)",
+    )
+    worker.add_argument("--storage", required=True)
+    worker.add_argument("--name", default="default")
+    worker.add_argument("--worker-id", default=None)
+    worker.add_argument("--max-seconds", type=float, default=None,
+                        help="give up after this long even if unfinished")
+    worker.add_argument("--lease-ttl", type=float, default=10.0,
+                        help="evaluation/master lease TTL (seconds)")
+    worker.add_argument("--lookahead", type=int, default=8,
+                        help="max trials pending+running at once")
+
+    status = study_sub.add_parser(
+        "status", help="inspect studies in a storage file"
+    )
+    status.add_argument("--storage", required=True)
+    status.add_argument("--name", default=None,
+                        help="study to detail (default: list all)")
+
+    export = study_sub.add_parser(
+        "export", help="write a study's final Pareto front to CSV"
+    )
+    export.add_argument("--storage", required=True)
+    export.add_argument("--name", default="default")
+    export.add_argument("--csv", required=True)
     return parser
 
 
@@ -390,6 +442,95 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_study(args) -> int:
+    """Durable-study verbs (docs/RESILIENCE.md §6)."""
+    from repro.storage import Study, list_studies, open_storage
+
+    storage = open_storage(args.storage)
+    try:
+        if args.study_command == "create":
+            meta = {
+                "problem": args.problem,
+                "max_nfe": args.nfe,
+                "seed": args.seed,
+            }
+            Study.create(
+                storage, args.name, meta=meta, exist_ok=args.exist_ok
+            )
+            print(f"study {args.name!r} in {args.storage}: "
+                  f"problem={args.problem} N={args.nfe} seed={args.seed}")
+            print(f"start workers with: repro study worker "
+                  f"--storage {args.storage} --name {args.name}")
+            return 0
+
+        if args.study_command == "worker":
+            from repro.parallel.service import (
+                ServiceConfig,
+                StorageBackedRunner,
+            )
+
+            study = Study.load(storage, args.name)
+            problem = _PROBLEMS[study.state.meta["problem"]]()
+            service = ServiceConfig(
+                lease_ttl=args.lease_ttl,
+                master_lease_ttl=args.lease_ttl,
+                lookahead=args.lookahead,
+            )
+            runner = StorageBackedRunner(
+                problem, study, service=service, worker_id=args.worker_id
+            )
+            result = runner.run(max_seconds=args.max_seconds)
+            role = "master" if result.was_master else "worker"
+            print(f"{result.worker} ({role}): evaluated "
+                  f"{result.evaluated} trials in {result.elapsed:.2f}s, "
+                  f"storage retries {result.storage_retries}")
+            print(f"study counts: {result.counts} "
+                  f"finished={result.finished}")
+            if result.borg is not None:
+                print(f"final archive: {len(result.borg.archive)} solutions, "
+                      f"NFE {result.borg.nfe}")
+            return 0 if result.finished else 1
+
+        if args.study_command == "status":
+            names = [args.name] if args.name else list_studies(storage)
+            if not names:
+                print(f"no studies in {args.storage}")
+                return 0
+            for name in names:
+                study = Study.load(storage, name)
+                state = study.state
+                counts = study.counts()
+                snap = state.snapshot
+                print(f"{name}: problem={state.meta.get('problem')} "
+                      f"N={state.meta.get('max_nfe')} "
+                      f"finished={state.finished}")
+                print(f"  trials: {counts} duplicates={state.duplicate_tells} "
+                      f"reclaims={state.reclaims}")
+                print(f"  snapshot: "
+                      + (f"nfe={snap['nfe']}" if snap else "none")
+                      + f"  master={study.lease_holder('master')}")
+            return 0
+
+        # export
+        from repro.experiments.reporting import write_csv
+        from repro.parallel.service import final_front
+
+        study = Study.load(storage, args.name)
+        problem = _PROBLEMS[study.state.meta["problem"]]()
+        result = final_front(problem, study)
+        if result is None:
+            print(f"study {args.name!r} has no snapshot yet")
+            return 1
+        objectives = result.objectives
+        headers = [f"f{i + 1}" for i in range(objectives.shape[1])]
+        write_csv(args.csv, headers, [tuple(row) for row in objectives])
+        print(f"wrote {objectives.shape[0]} archive solutions "
+              f"(NFE {result.nfe}) to {args.csv}")
+        return 0
+    finally:
+        storage.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -399,6 +540,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bounds": _cmd_bounds,
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
+        "study": _cmd_study,
     }[args.command]
     return handler(args)
 

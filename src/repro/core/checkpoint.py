@@ -137,8 +137,15 @@ def engine_state(
 
 
 def _atomic_pickle(payload: dict, path: str | os.PathLike) -> None:
-    """Atomically pickle ``payload`` to ``path`` (tmp + ``os.replace``),
-    so a crash mid-write never corrupts the latest good checkpoint."""
+    """Atomically and durably pickle ``payload`` to ``path``.
+
+    Write to a temp file, ``fsync`` it, ``os.replace`` over the target,
+    then ``fsync`` the directory.  The rename alone only guarantees
+    readers never see a half-written file; without the data fsync a
+    power loss can leave the *renamed* file empty (the rename can reach
+    disk before the data), and without the directory fsync the rename
+    itself may not survive the crash.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -148,7 +155,14 @@ def _atomic_pickle(payload: dict, path: str | os.PathLike) -> None:
     try:
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
         try:
             os.unlink(tmp)

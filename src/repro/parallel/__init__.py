@@ -7,12 +7,22 @@ Backends:
 * threads / processes -- real local parallelism;
 * MPI (:mod:`repro.parallel.mpi`) -- cluster deployment via mpi4py;
 * topologies (:mod:`repro.parallel.topology`) -- hierarchical
-  multi-master sizing and the island-model preview.
+  multi-master sizing and the island-model preview;
+* storage-backed service (:mod:`repro.parallel.service`) -- durable
+  studies co-driven by independent worker processes over
+  :mod:`repro.storage`.
 """
 
 from .islands import IslandShard, ShardedRunResult, run_sharded_islands
 from .results import ParallelRunResult
 from .runner import BACKENDS, optimize
+from .service import (
+    ServiceConfig,
+    ServiceResult,
+    StorageBackedRunner,
+    final_front,
+    run_study_worker,
+)
 from .supervision import FaultStats, NoLiveWorkersError, SupervisorConfig
 from .threads import run_threaded_master_slave
 from .processes import run_process_master_slave
@@ -48,4 +58,9 @@ __all__ = [
     "IslandShard",
     "ShardedRunResult",
     "run_sharded_islands",
+    "ServiceConfig",
+    "ServiceResult",
+    "StorageBackedRunner",
+    "final_front",
+    "run_study_worker",
 ]

@@ -76,6 +76,7 @@ from ..models.fastsim import (
     migration_links,
 )
 from ..stats.timing import TimingModel, TimingSampler
+from .supervision import FaultStats, NoLiveWorkersError
 
 __all__ = [
     "IslandShard",
@@ -124,6 +125,10 @@ class ShardedRunResult:
     shards: list[IslandShard] = field(default_factory=list)
     #: False when the run stopped early (``stop_after_epochs``).
     completed: bool = True
+    #: Faults survived: ``islands_retired`` counts islands whose whole
+    #: worker pool died (:exc:`~repro.parallel.supervision.NoLiveWorkersError`)
+    #: and were retired with their partial shard kept in the merge.
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def processors(self) -> int:
@@ -231,6 +236,27 @@ def _serve_until(st: _IslandState, limit: float, max_nfe: int, quarter: int) -> 
             st.inflight[wid] = engine.next_candidate()
         # Completion: the worker draws its next TF and re-arrives.
         heappush(heap, (c + st.tf(), wid))
+
+
+def _serve_or_retire(
+    st: _IslandState,
+    limit: float,
+    max_nfe: int,
+    quarter: int,
+    faults: FaultStats,
+) -> None:
+    """Serve like :func:`_serve_until`, but degrade gracefully when the
+    island's whole worker pool dies: retire the island at the clock it
+    reached, drop its in-flight work, and keep its partial archive
+    shard for the global merge.  The surviving islands carry on."""
+    try:
+        _serve_until(st, limit, max_nfe, quarter)
+    except NoLiveWorkersError:
+        st.done = True
+        st.elapsed = st.master_free
+        st.inflight.clear()
+        st.heap.clear()
+        faults.islands_retired += 1
 
 
 def _charge_exchange(st: _IslandState, epoch_time: float, migrants: int) -> None:
@@ -471,16 +497,21 @@ def run_sharded_islands(
 
     epochs_this_call = 0
     completed = True
+    faults = FaultStats()
     if not links:
         # Single island (or no topology links): no epochs, run to done.
         for st in states:
             if not st.done:
-                _serve_until(st, math.inf, max_nfe_per_island, quarter)
+                _serve_or_retire(
+                    st, math.inf, max_nfe_per_island, quarter, faults
+                )
     else:
         while any(not st.done for st in states):
             for st in states:
                 if not st.done:
-                    _serve_until(st, next_epoch, max_nfe_per_island, quarter)
+                    _serve_or_retire(
+                        st, next_epoch, max_nfe_per_island, quarter, faults
+                    )
             if all(st.done for st in states):
                 break
 
@@ -574,4 +605,5 @@ def run_sharded_islands(
         front_history=front_history,
         shards=shards,
         completed=completed,
+        faults=faults,
     )

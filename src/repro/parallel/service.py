@@ -1,0 +1,447 @@
+"""Storage-backed optimization service: Borg ask/tell over durable studies.
+
+:class:`StorageBackedRunner` generalizes PR 3's checkpoint/resume from
+"one process restarts" to "a fleet survives anything": N independent OS
+processes (``repro study worker ...``) attach to one
+:class:`~repro.storage.Study` and co-drive it.  Every process runs the
+same loop; roles are decided by a storage-level TTL lease:
+
+* The **master** (holder of the ``"master"`` lease) owns the live
+  :class:`~repro.core.borg.BorgEngine`.  It asks the engine for
+  candidates and enqueues them as pending trials, ingests completed
+  trials back into the engine (in log order -- deterministic across
+  failovers), re-queues stale leases via the reclaimer, and snapshots
+  full engine state into storage (the
+  :func:`repro.core.checkpoint.engine_state` serialization) at
+  epsilon-progress boundaries.  The snapshot carries the set of trial
+  ids already ingested -- the exactly-once frontier.
+* Every process (master included) is a **worker**: claim a pending
+  trial under a TTL lease, evaluate, ``tell`` the result.  ``kill -9``
+  at any point loses nothing: an un-told claim expires and is
+  re-dispatched with the *same trial id*; a duplicate late ``tell`` is
+  suppressed by the storage fold, so NFE accounting stays exact -- the
+  task-id dedup idea of :class:`~repro.parallel.supervision.TaskTable`
+  lifted into durable storage.
+* When the master dies, its lease expires and any worker promotes
+  itself: restore the engine from the latest snapshot, re-ingest
+  completed trials the dead master never snapshotted, continue.
+
+Storage faults (torn writes, lock timeouts -- real or injected by
+:class:`~repro.storage.FaultyStorage`) are retried with capped
+exponential backoff; a torn append is invisible to replay, so a retry
+can never double-apply.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.borg import BorgConfig, BorgEngine, BorgResult
+from ..core.checkpoint import engine_state, restore_engine
+from ..core.solution import Solution
+from ..problems.base import Problem
+from ..storage import RetryPolicy, StorageError, Study
+from ..storage.study import TRIAL_PENDING, TRIAL_RUNNING
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceResult",
+    "StorageBackedRunner",
+    "final_front",
+    "run_study_worker",
+]
+
+#: Name of the leader-election lease.
+MASTER_LEASE = "master"
+
+
+@dataclass
+class ServiceConfig:
+    """Policy knobs of the storage-backed service loop."""
+
+    #: Evaluation-lease TTL (seconds).  A worker that dies mid-claim is
+    #: presumed lost this long after its last claim/heartbeat.
+    lease_ttl: float = 10.0
+    #: Master-lease TTL (seconds); failover latency ceiling.
+    master_lease_ttl: float = 10.0
+    #: Idle sleep between loop iterations when nothing is claimable.
+    poll_interval: float = 0.02
+    #: Maximum trials simultaneously pending+running (the dispatch
+    #: window; the async analogue of P in-flight candidates).
+    lookahead: int = 8
+    #: Trial re-dispatch policy (reclaim backoff + retry budget).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Ingests between unconditional engine snapshots (epsilon-progress
+    #: boundaries additionally force one).
+    snapshot_interval: int = 50
+    #: Attempts per storage operation before giving up.
+    op_attempts: int = 10
+    #: Base/ceiling of the storage-retry backoff (seconds).
+    op_backoff_base: float = 0.01
+    op_backoff_max: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lease_ttl <= 0 or self.master_lease_ttl <= 0:
+            raise ValueError("lease TTLs must be positive")
+        if self.lookahead < 1:
+            raise ValueError("lookahead must be >= 1")
+        if self.snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        if self.op_attempts < 1:
+            raise ValueError("op_attempts must be >= 1")
+
+
+@dataclass
+class ServiceResult:
+    """One process's view of a finished (or abandoned) study run."""
+
+    worker: str
+    #: Evaluations this process performed (its share of the fleet's work).
+    evaluated: int
+    #: Whether this process ever held the master lease.
+    was_master: bool
+    #: Final study counters (completed / failed / pending / running).
+    counts: dict[str, int]
+    #: True when the study reached its budget and was marked finished.
+    finished: bool
+    elapsed: float
+    #: Storage faults survived (retried) by this process.
+    storage_retries: int
+    #: Final Borg result -- only populated on the process that held the
+    #: master lease at finish time (use :func:`final_front` elsewhere).
+    borg: Optional[BorgResult] = None
+
+
+def _solution_from(record) -> Solution:
+    constraints = record.constraints
+    if constraints is not None and np.asarray(constraints).size == 0:
+        constraints = None
+    return Solution(
+        record.variables,
+        objectives=record.objectives,
+        constraints=constraints,
+        operator=record.operator,
+    )
+
+
+class StorageBackedRunner:
+    """One process of the worker fleet (see module docstring).
+
+    ``problem`` must match the study's (the CLI rebuilds it from the
+    study meta).  ``config`` seeds the *first* engine only; failover
+    masters always restore configuration from the snapshot blob.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        study: Study,
+        config: Optional[BorgConfig] = None,
+        service: Optional[ServiceConfig] = None,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        self.problem = problem
+        self.study = study
+        self.config = config
+        self.service = service or ServiceConfig()
+        self.worker_id = worker_id or f"w{os.getpid()}"
+        self.engine: Optional[BorgEngine] = None
+        self._ingested: set[int] = set()
+        self._last_snapshot_nfe = 0
+        self._last_snapshot_improvements = -1
+        self._was_master = False
+        self._storage_retries = 0
+
+    # -- storage-fault resilience -------------------------------------------
+    def _robust(self, fn: Callable, *args, **kwargs):
+        """Run one storage operation, retrying injected/real storage
+        faults with capped exponential backoff.  Safe because every
+        compound op is refresh-validate-append: a torn append is
+        invisible to replay, so retrying can never double-apply."""
+        service = self.service
+        delay = service.op_backoff_base
+        for attempt in range(service.op_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except StorageError:
+                self._storage_retries += 1
+                if attempt == service.op_attempts - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(service.op_backoff_max, delay * 2)
+
+    # -- master role ---------------------------------------------------------
+    def _try_become_master(self, now: float) -> bool:
+        """Hold (or take over) the master lease.  Renewal only appends a
+        lease op when less than a third of the TTL remains, so a stable
+        master costs O(1) log traffic per TTL rather than per poll."""
+        ttl = self.service.master_lease_ttl
+        held = self.study.state.leases.get(MASTER_LEASE)
+        if held is not None and held[1] >= now:
+            if held[0] != self.worker_id:
+                return False
+            if held[1] - now > ttl / 3.0:
+                return True
+        if not self._robust(
+            self.study.acquire_lease,
+            MASTER_LEASE,
+            self.worker_id,
+            ttl,
+            now=now,
+        ):
+            return False
+        self._was_master = True
+        if self.engine is None:
+            self._restore_engine(self.study.state)
+        return True
+
+    def _restore_engine(self, state) -> None:
+        """Become the engine owner: restore from the latest snapshot
+        (or build a fresh engine for a virgin study), then re-ingest
+        completed trials past the snapshot's exactly-once frontier."""
+        snapshot = state.snapshot
+        if snapshot is not None:
+            self.engine = restore_engine(
+                self.problem, {"state": snapshot["blob"]}
+            )
+            self._ingested = set(snapshot["ingested"])
+            self._last_snapshot_nfe = self.engine.nfe
+            self._last_snapshot_improvements = self.engine.archive.improvements
+        else:
+            self.engine = BorgEngine(
+                self.problem,
+                self.config or state.meta.get("config") or BorgConfig(),
+                rng=np.random.default_rng(state.meta.get("seed")),
+            )
+            self._ingested = set()
+            self._last_snapshot_nfe = 0
+            self._last_snapshot_improvements = -1
+        self._catch_up_ingest()
+
+    def _catch_up_ingest(self) -> int:
+        """Ingest completed trials not yet folded into the engine, in
+        completion-log order (deterministic across failovers)."""
+        ingested_now = 0
+        for record in self.study.completed_trials():
+            if record.trial_id in self._ingested:
+                continue
+            self.engine.ingest(_solution_from(record))
+            self._ingested.add(record.trial_id)
+            ingested_now += 1
+        # Evaluations performed by other processes show up here, not in
+        # this process's counter; fold them in for honest telemetry.
+        self.problem.evaluations = max(self.problem.evaluations, self.engine.nfe)
+        return ingested_now
+
+    def _maybe_snapshot(self, force: bool = False) -> None:
+        engine = self.engine
+        progressed = (
+            engine.archive.improvements != self._last_snapshot_improvements
+        )
+        due = (
+            engine.nfe - self._last_snapshot_nfe
+            >= self.service.snapshot_interval
+        )
+        if not force and not (progressed and engine.nfe > self._last_snapshot_nfe) and not due:
+            return
+        if engine.nfe == self._last_snapshot_nfe and not force:
+            return
+        self._robust(
+            self.study.save_snapshot,
+            engine_state(engine),
+            self._ingested,
+            engine.nfe,
+        )
+        self._last_snapshot_nfe = engine.nfe
+        self._last_snapshot_improvements = engine.archive.improvements
+
+    def _master_duties(self, max_nfe: int, now: float) -> bool:
+        """Reclaim, ingest, top up, snapshot; returns True when the
+        study just reached its budget and was marked finished."""
+        study = self.study
+        self._robust(study.reclaim_stale, self.service.retry, now=now)
+        if self._catch_up_ingest():
+            self._maybe_snapshot()
+        state = study.state
+        counts = state.counts()
+        # Live trials can still produce completions; failed ones never
+        # will, so their budget slots are re-issued to fresh candidates.
+        live = len(state.trials) - counts["failed"]
+        in_flight = counts[TRIAL_PENDING] + counts[TRIAL_RUNNING]
+        while live < max_nfe and in_flight < self.service.lookahead:
+            candidate = self.engine.next_candidate()
+            self._robust(
+                study.enqueue, candidate.variables, operator=candidate.operator
+            )
+            live += 1
+            in_flight += 1
+        if state.completed >= max_nfe and not state.finished:
+            self._maybe_snapshot(force=True)
+            self._robust(study.finish)
+            self._robust(study.release_lease, MASTER_LEASE, self.worker_id)
+            return True
+        return False
+
+    # -- worker role ---------------------------------------------------------
+    def _evaluate_one(self) -> bool:
+        """Claim, evaluate, tell.  Returns True when a trial was
+        processed (claimed and resolved one way or the other)."""
+        study = self.study
+        record = self._robust(
+            study.claim, self.worker_id, self.service.lease_ttl
+        )
+        if record is None:
+            return False
+        trial_id = record.trial_id
+        candidate = Solution(
+            np.array(record.variables, copy=True), operator=record.operator
+        )
+        try:
+            self.problem.evaluate(candidate)
+        except Exception as exc:  # noqa: BLE001 -- injected/user faults
+            self._robust(
+                study.fail,
+                trial_id,
+                self.worker_id,
+                f"{type(exc).__name__}: {exc}",
+                self.service.retry,
+            )
+            return True
+        constraints = (
+            candidate.constraints if candidate.constraints.size else None
+        )
+        self._robust(
+            study.tell,
+            trial_id,
+            self.worker_id,
+            candidate.objectives,
+            constraints,
+        )
+        return True
+
+    # -- main loop -----------------------------------------------------------
+    def run(
+        self,
+        max_nfe: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> ServiceResult:
+        """Drive the study until it is finished (or ``max_seconds``
+        elapses).  ``max_nfe`` defaults to the study's ``max_nfe`` meta.
+        """
+        study = self.study
+        study.refresh()
+        if max_nfe is None:
+            max_nfe = study.state.meta.get("max_nfe")
+        if not max_nfe or max_nfe < 1:
+            raise ValueError(
+                "max_nfe must be >= 1 (argument or study meta)"
+            )
+        start = time.perf_counter()
+        evaluated = 0
+        finished = False
+        while True:
+            if (
+                max_seconds is not None
+                and time.perf_counter() - start > max_seconds
+            ):
+                break
+            try:
+                study.refresh()
+            except StorageError:
+                time.sleep(self.service.poll_interval)
+                continue
+            if study.state.finished:
+                finished = True
+                break
+            now = time.time()
+            try:
+                is_master = self._try_become_master(now)
+            except StorageError:
+                is_master = False
+            if is_master and self._master_duties(max_nfe, now):
+                finished = True
+                break
+            progressed = False
+            try:
+                progressed = self._evaluate_one()
+                if progressed:
+                    evaluated += 1
+            except StorageError:
+                pass  # op retries exhausted; lease expiry re-queues it
+            if not progressed:
+                time.sleep(self.service.poll_interval)
+        study.refresh()
+        borg = None
+        if self.engine is not None and finished:
+            self._catch_up_ingest()
+            borg = self.engine.result()
+        return ServiceResult(
+            worker=self.worker_id,
+            evaluated=evaluated,
+            was_master=self._was_master,
+            counts=study.counts(),
+            finished=study.state.finished,
+            elapsed=time.perf_counter() - start,
+            storage_retries=self._storage_retries,
+            borg=borg,
+        )
+
+
+def final_front(problem: Problem, study: Study) -> Optional[BorgResult]:
+    """Rebuild the final Borg result from a study's latest snapshot
+    (plus any completed trials the snapshot predates).  Returns None
+    for a study with no snapshot yet."""
+    study.refresh()
+    snapshot = study.state.snapshot
+    if snapshot is None:
+        return None
+    engine = restore_engine(problem, {"state": snapshot["blob"]})
+    ingested = set(snapshot["ingested"])
+    for record in study.completed_trials():
+        if record.trial_id not in ingested:
+            engine.ingest(_solution_from(record))
+            ingested.add(record.trial_id)
+    return engine.result()
+
+
+def run_study_worker(
+    storage_spec: str,
+    study_name: str,
+    problem: Optional[Problem] = None,
+    config: Optional[BorgConfig] = None,
+    service: Optional[ServiceConfig] = None,
+    worker_id: Optional[str] = None,
+    max_seconds: Optional[float] = None,
+) -> ServiceResult:
+    """Attach one worker process to a study by storage path.
+
+    The problem is rebuilt from the study's ``problem`` meta (the CLI
+    registry name) unless passed explicitly -- this is the entry point
+    ``repro study worker`` and multiprocess tests share.
+    """
+    from ..storage import open_storage
+
+    storage = open_storage(storage_spec)
+    study = Study.load(storage, study_name)
+    if problem is None:
+        name = study.state.meta.get("problem")
+        if not name:
+            raise ValueError(
+                f"study {study_name!r} has no problem meta; pass problem="
+            )
+        from ..cli import _PROBLEMS
+
+        problem = _PROBLEMS[name]()
+    runner = StorageBackedRunner(
+        problem,
+        study,
+        config=config,
+        service=service,
+        worker_id=worker_id,
+    )
+    return runner.run(max_seconds=max_seconds)

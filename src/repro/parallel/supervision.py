@@ -128,6 +128,10 @@ class FaultStats:
     duplicate_results: int = 0
     #: Checkpoint files written during the run.
     checkpoints_written: int = 0
+    #: Islands retired early because their worker pool died
+    #: (:exc:`NoLiveWorkersError` in a sharded island run); their
+    #: archive shards stay in the global merge.
+    islands_retired: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -138,6 +142,7 @@ class FaultStats:
             "worker_errors": self.worker_errors,
             "duplicate_results": self.duplicate_results,
             "checkpoints_written": self.checkpoints_written,
+            "islands_retired": self.islands_retired,
         }
 
 

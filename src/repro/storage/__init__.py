@@ -1,0 +1,72 @@
+"""Durable optimization-as-a-service storage (docs/RESILIENCE.md §6).
+
+The ROADMAP's study/trial layer: a :class:`~repro.storage.study.Study`
+is durable shared state that any number of stateless worker processes
+attach to -- claiming evaluations under TTL leases, telling results
+back exactly once, and surviving ``kill -9`` of any (or every) process
+because the whole study is a deterministic fold over an append-only,
+crash-safe operation log.
+
+Backends: in-memory (tests), append-only journal file (checksummed
+records, fsync, torn-tail truncation, advisory file lock), and SQLite
+(WAL mode, busy-timeout retry).  :func:`open_storage` picks one from a
+path/URL spec.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import RetryPolicy, StorageBackend, StorageError, StorageLockTimeout
+from .chaos import FaultyStorage
+from .journal import JournalStorage
+from .memory import InMemoryStorage
+from .sqlite import SQLiteStorage
+from .study import (
+    TRIAL_COMPLETE,
+    TRIAL_FAILED,
+    TRIAL_PENDING,
+    TRIAL_RUNNING,
+    Study,
+    StudyError,
+    StudyState,
+    TrialRecord,
+    list_studies,
+)
+
+__all__ = [
+    "FaultyStorage",
+    "InMemoryStorage",
+    "JournalStorage",
+    "RetryPolicy",
+    "SQLiteStorage",
+    "StorageBackend",
+    "StorageError",
+    "StorageLockTimeout",
+    "Study",
+    "StudyError",
+    "StudyState",
+    "TrialRecord",
+    "TRIAL_PENDING",
+    "TRIAL_RUNNING",
+    "TRIAL_COMPLETE",
+    "TRIAL_FAILED",
+    "list_studies",
+    "open_storage",
+]
+
+
+def open_storage(spec: str | os.PathLike, **kwargs) -> StorageBackend:
+    """Open a storage backend from a path/URL spec.
+
+    ``"memory://"`` → a fresh :class:`InMemoryStorage`; a path ending
+    in ``.db``/``.sqlite``/``.sqlite3`` → :class:`SQLiteStorage`;
+    anything else → :class:`JournalStorage`.  ``kwargs`` pass through
+    to the backend constructor.
+    """
+    spec = os.fspath(spec)
+    if spec == "memory://":
+        return InMemoryStorage()
+    if spec.endswith((".db", ".sqlite", ".sqlite3")):
+        return SQLiteStorage(spec, **kwargs)
+    return JournalStorage(spec, **kwargs)

@@ -1,0 +1,117 @@
+"""Storage backend contract: an append-only, crash-safe operation log.
+
+Every backend stores one thing -- a totally ordered sequence of
+*operation records* (plain picklable dicts) -- and the whole
+:class:`~repro.storage.study.Study` layer is a deterministic fold over
+that sequence.  This is what makes the durability story simple to
+reason about: a study's live in-memory view and a cold replay of the
+same log are the *same fold over the same ops*, so they are
+bit-identical by construction, and every crash-recovery question
+reduces to "which prefix of the log survived?".
+
+Backends differ only in where the log lives:
+
+* :class:`~repro.storage.memory.InMemoryStorage` -- a list (tests,
+  single-process runs);
+* :class:`~repro.storage.journal.JournalStorage` -- an append-only
+  file of length-prefixed, checksummed records (multi-process via an
+  advisory file lock, crash-safe via fsync + torn-tail truncation);
+* :class:`~repro.storage.sqlite.SQLiteStorage` -- a WAL-mode SQLite
+  table (multi-process via SQLite's own locking).
+
+The contract deliberately has no read-modify-write primitive other
+than :meth:`StorageBackend.lock`: compound operations (claim a trial,
+reclaim a lease, ...) are implemented as *refresh under the lock, then
+append* -- the lock serialises writers across processes, and the fold
+makes the appended op unconditional to apply.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = [
+    "RetryPolicy",
+    "StorageBackend",
+    "StorageError",
+    "StorageLockTimeout",
+]
+
+
+class StorageError(RuntimeError):
+    """A storage operation failed (torn write, I/O error, corruption)."""
+
+
+class StorageLockTimeout(StorageError):
+    """The cross-process storage lock could not be acquired in time."""
+
+
+@dataclass
+class RetryPolicy:
+    """Retry/backoff policy shared by lease reclaim and storage retries.
+
+    ``budget`` bounds how many dispatch attempts a single trial gets
+    before it is dead-lettered (state ``failed``); the capped
+    exponential backoff spaces re-dispatches of a trial whose previous
+    leases kept dying, so a poison trial cannot monopolise the fleet.
+    """
+
+    #: Maximum claim attempts per trial before dead-lettering.
+    budget: int = 5
+    #: Base of the capped exponential re-dispatch backoff (seconds).
+    backoff_base: float = 0.05
+    #: Ceiling of the re-dispatch backoff (seconds).
+    backoff_max: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError("retry budget must be >= 1")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_max")
+
+    def backoff(self, attempts: int) -> float:
+        """Delay before re-dispatching a trial that failed ``attempts``
+        times already (capped exponential)."""
+        return min(self.backoff_max, self.backoff_base * (2.0 ** max(0, attempts - 1)))
+
+
+class StorageBackend(ABC):
+    """Append-only operation log with a cross-process writer lock.
+
+    Logical sequence numbers are 0-based and dense: the k-th op ever
+    appended has ``seq == k``.  ``read(from_seq)`` returns every op with
+    ``seq >= from_seq`` that is *intact* -- a backend whose tail was
+    torn by a crash returns the longest clean prefix and never a
+    partial record.
+    """
+
+    @abstractmethod
+    def append(self, ops: Sequence[dict]) -> int:
+        """Durably append ``ops`` in order; returns the seq of the last
+        appended op.  Atomic per op: after a crash, each op is either
+        fully present or absent from replay."""
+
+    @abstractmethod
+    def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
+        """Return ``[(seq, op), ...]`` for every intact op with
+        ``seq >= from_seq``, in order."""
+
+    @abstractmethod
+    @contextmanager
+    def lock(self, timeout: float | None = None) -> Iterator[None]:
+        """Cross-process exclusive writer lock (reentrant within the
+        owning instance).  Raises :exc:`StorageLockTimeout` when the
+        lock cannot be acquired within ``timeout`` seconds."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any OS resources (files, connections)."""
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

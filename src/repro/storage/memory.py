@@ -1,0 +1,61 @@
+"""In-memory storage backend: the op log as a plain list.
+
+Single-process only (nothing is shared across OS processes), but it
+honours the exact same contract as the durable backends -- ops are
+pickled on append and unpickled on read, so aliasing bugs (a caller
+mutating an op dict after appending it) cannot silently diverge the
+in-memory backend from the journal/SQLite ones, and replay parity
+tests exercise identical semantics on all three.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .base import StorageBackend
+
+__all__ = ["InMemoryStorage"]
+
+
+class InMemoryStorage(StorageBackend):
+    """Op log in a list, guarded by a reentrant thread lock."""
+
+    def __init__(self) -> None:
+        self._log: list[bytes] = []
+        self._lock = threading.RLock()
+
+    def append(self, ops: Sequence[dict]) -> int:
+        with self._lock:
+            for op in ops:
+                self._log.append(
+                    pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            return len(self._log) - 1
+
+    def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
+        with self._lock:
+            tail = self._log[from_seq:]
+        return [
+            (from_seq + i, pickle.loads(raw)) for i, raw in enumerate(tail)
+        ]
+
+    @contextmanager
+    def lock(self, timeout: float | None = None) -> Iterator[None]:
+        acquired = self._lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        )
+        if not acquired:  # pragma: no cover - RLock in-process contention
+            from .base import StorageLockTimeout
+
+            raise StorageLockTimeout("in-memory lock timeout")
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._log)

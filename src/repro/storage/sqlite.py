@@ -1,0 +1,131 @@
+"""SQLite storage backend: the op log as a WAL-mode table.
+
+Same contract as the journal file, different durability engine: SQLite
+owns atomicity (a torn append is rolled back by SQLite's own journal,
+so no tail-truncation logic is needed) and cross-process exclusion
+(``BEGIN IMMEDIATE`` takes the database write lock).  WAL mode keeps
+readers unblocked while a writer appends -- the property that lets a
+status dashboard tail a study that a worker fleet is hammering.
+
+Contention is handled twice over: SQLite's own ``busy_timeout`` makes
+lock waits block-with-timeout instead of failing instantly, and every
+statement additionally retries on ``database is locked`` /
+``database is busy`` with capped-exponential sleeps, so a brief burst
+of writers degrades to queueing rather than errors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .base import StorageBackend, StorageError, StorageLockTimeout
+
+__all__ = ["SQLiteStorage"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS journal (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    payload BLOB NOT NULL
+)
+"""
+
+
+class SQLiteStorage(StorageBackend):
+    """Op log in a single-table SQLite database (WAL mode)."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        busy_timeout: float = 10.0,
+        max_retries: int = 12,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.busy_timeout = busy_timeout
+        self.max_retries = max_retries
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
+        self._conn.isolation_level = None  # explicit transactions only
+        self._lock_depth = 0
+        self._execute("PRAGMA journal_mode=WAL")
+        self._execute("PRAGMA synchronous=FULL")
+        self._execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        self._execute(_SCHEMA)
+
+    # -- busy retry ----------------------------------------------------------
+    def _execute(self, sql: str, params: Sequence = ()):
+        delay = 0.002
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self._conn.execute(sql, params)
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise StorageError(f"sqlite error: {exc}") from exc
+                if attempt >= self.max_retries:
+                    raise StorageLockTimeout(
+                        f"sqlite write lock not acquired: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(0.25, delay * 2)
+
+    # -- contract ------------------------------------------------------------
+    def append(self, ops: Sequence[dict]) -> int:
+        if not ops:
+            row = self._execute("SELECT MAX(seq) FROM journal").fetchone()
+            return (row[0] or 0) - 1
+        with self.lock():
+            last = None
+            for op in ops:
+                cursor = self._execute(
+                    "INSERT INTO journal (payload) VALUES (?)",
+                    (pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL),),
+                )
+                last = cursor.lastrowid
+            return int(last) - 1  # rowids are 1-based; seqs are 0-based
+
+    def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
+        rows = self._execute(
+            "SELECT seq, payload FROM journal WHERE seq > ? ORDER BY seq",
+            (from_seq,),  # seq column is rowid (1-based) = logical seq + 1
+        ).fetchall()
+        return [(int(seq) - 1, pickle.loads(payload)) for seq, payload in rows]
+
+    @contextmanager
+    def lock(self, timeout: float | None = None) -> Iterator[None]:
+        if self._lock_depth > 0:
+            self._lock_depth += 1
+            try:
+                yield
+            finally:
+                self._lock_depth -= 1
+            return
+        self._execute("BEGIN IMMEDIATE")
+        self._lock_depth = 1
+        try:
+            yield
+        except BaseException:
+            self._lock_depth = 0
+            try:
+                self._conn.execute("ROLLBACK")
+            except sqlite3.OperationalError:
+                pass
+            raise
+        else:
+            self._lock_depth = 0
+            self._execute("COMMIT")
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - close is best-effort
+            pass
+
+    def __len__(self) -> int:
+        row = self._execute("SELECT COUNT(*) FROM journal").fetchone()
+        return int(row[0])

@@ -1,0 +1,594 @@
+"""Study/Trial layer: durable optimization state as a fold over the op log.
+
+An optuna-style service surface for the Borg engine.  A *study* is a
+named optimization run whose entire state -- trials, leases, engine
+snapshots, counters -- is a deterministic fold over the storage
+backend's operation log.  Any number of stateless worker processes
+attach to the same storage, claim pending trials under a TTL lease,
+evaluate them, and ``tell`` results back with exactly-once semantics;
+a reclaimer re-queues trials whose leases expired (their worker was
+killed) with capped-exponential backoff and a retry budget.
+
+Crash model (docs/RESILIENCE.md §6):
+
+* ``kill -9`` a worker mid-evaluation → its lease expires, the
+  reclaimer re-queues the *same trial id*, another worker completes
+  it; the duplicate-suppressing fold counts the evaluation once.
+* ``kill -9`` every process → the log prefix that was fsynced is the
+  study; reattaching workers resume from exactly that state, because
+  the live in-memory view *is* the replay (same fold, same ops).
+* Torn final append → invisible: backends surface only intact ops.
+
+Concurrency model: every read-modify-append compound (claim, tell,
+reclaim, lease ops) runs under the backend's cross-process writer lock
+as *refresh → decide → append*, so appended ops are always valid and
+the fold can apply them unconditionally.  Pure reads never lock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .base import RetryPolicy, StorageBackend, StorageError
+
+__all__ = [
+    "Study",
+    "StudyError",
+    "StudyState",
+    "TrialRecord",
+    "TRIAL_PENDING",
+    "TRIAL_RUNNING",
+    "TRIAL_COMPLETE",
+    "TRIAL_FAILED",
+    "list_studies",
+]
+
+TRIAL_PENDING = "pending"
+TRIAL_RUNNING = "running"
+TRIAL_COMPLETE = "complete"
+TRIAL_FAILED = "failed"
+
+_TERMINAL = frozenset((TRIAL_COMPLETE, TRIAL_FAILED))
+
+
+class StudyError(StorageError):
+    """Invalid study operation (unknown study, duplicate create, ...)."""
+
+
+@dataclass
+class TrialRecord:
+    """One evaluation task: decision vector plus lease/result telemetry."""
+
+    trial_id: int
+    variables: np.ndarray
+    operator: str = "service"
+    state: str = TRIAL_PENDING
+    objectives: Optional[np.ndarray] = None
+    constraints: Optional[np.ndarray] = None
+    #: Worker currently holding (or last to hold) the lease.
+    worker: Optional[str] = None
+    #: Wall-clock lease expiry of the current claim (None when idle).
+    lease_expires: Optional[float] = None
+    #: Claim attempts so far (drives the reclaim backoff and budget).
+    attempts: int = 0
+    #: Earliest wall-clock instant the trial may be claimed again.
+    not_before: float = 0.0
+    #: Why the trial was re-queued or dead-lettered.
+    error: Optional[str] = None
+    #: Worker whose result won, and the log seq of the winning ``tell``.
+    completed_by: Optional[str] = None
+    completed_seq: Optional[int] = None
+
+
+@dataclass
+class StudyState:
+    """The fold target: everything a study is, as plain data."""
+
+    name: str
+    created: bool = False
+    meta: dict = field(default_factory=dict)
+    trials: dict[int, TrialRecord] = field(default_factory=dict)
+    #: Named TTL leases (``"master"`` elects the engine-owning process).
+    leases: dict[str, tuple[str, float]] = field(default_factory=dict)
+    #: Latest engine snapshot op (blob + ingested ids + nfe), or None.
+    snapshot: Optional[dict] = None
+    snapshot_seq: int = -1
+    completed: int = 0
+    failed: int = 0
+    #: ``tell``s suppressed because the trial was already terminal.
+    duplicate_tells: int = 0
+    #: Expired leases re-queued by the reclaimer.
+    reclaims: int = 0
+    finished: bool = False
+
+    def counts(self) -> dict[str, int]:
+        by_state = {
+            TRIAL_PENDING: 0,
+            TRIAL_RUNNING: 0,
+            TRIAL_COMPLETE: 0,
+            TRIAL_FAILED: 0,
+        }
+        for record in self.trials.values():
+            by_state[record.state] += 1
+        return by_state
+
+
+def _apply(state: StudyState, seq: int, op: dict) -> None:
+    """Apply one log op to ``state``.  Total: unknown ops are ignored
+    (forward compatibility), invalid transitions are suppressed exactly
+    the way the append-side validation would have suppressed them --
+    the property that makes replay == live view."""
+    kind = op["op"]
+    if kind == "create":
+        state.created = True
+        state.meta = dict(op["meta"])
+    elif kind == "enqueue":
+        tid = op["trial"]
+        if tid not in state.trials:
+            state.trials[tid] = TrialRecord(
+                trial_id=tid,
+                variables=np.asarray(op["variables"], dtype=float),
+                operator=op.get("operator", "service"),
+            )
+    elif kind == "claim":
+        record = state.trials.get(op["trial"])
+        if record is not None and record.state not in _TERMINAL:
+            record.state = TRIAL_RUNNING
+            record.worker = op["worker"]
+            record.lease_expires = op["expires"]
+            record.attempts += 1
+    elif kind == "heartbeat":
+        record = state.trials.get(op["trial"])
+        if (
+            record is not None
+            and record.state == TRIAL_RUNNING
+            and record.worker == op["worker"]
+        ):
+            record.lease_expires = op["expires"]
+    elif kind == "complete":
+        record = state.trials.get(op["trial"])
+        if record is None:
+            return
+        if record.state in _TERMINAL:
+            state.duplicate_tells += 1
+            return
+        record.state = TRIAL_COMPLETE
+        record.objectives = np.asarray(op["objectives"], dtype=float)
+        record.constraints = (
+            None
+            if op.get("constraints") is None
+            else np.asarray(op["constraints"], dtype=float)
+        )
+        record.completed_by = op["worker"]
+        record.completed_seq = seq
+        record.worker = None
+        record.lease_expires = None
+        record.error = None
+        state.completed += 1
+    elif kind == "requeue":
+        record = state.trials.get(op["trial"])
+        if record is not None and record.state not in _TERMINAL:
+            record.state = TRIAL_PENDING
+            record.worker = None
+            record.lease_expires = None
+            record.not_before = op["not_before"]
+            record.error = op.get("reason")
+            state.reclaims += 1
+    elif kind == "deadletter":
+        record = state.trials.get(op["trial"])
+        if record is not None and record.state not in _TERMINAL:
+            record.state = TRIAL_FAILED
+            record.worker = None
+            record.lease_expires = None
+            record.error = op.get("reason")
+            state.failed += 1
+    elif kind == "lease":
+        if op["expires"] is None:
+            state.leases.pop(op["key"], None)
+        else:
+            state.leases[op["key"]] = (op["worker"], op["expires"])
+    elif kind == "snapshot":
+        state.snapshot = {
+            "blob": op["blob"],
+            "ingested": op["ingested"],
+            "nfe": op["nfe"],
+        }
+        state.snapshot_seq = seq
+    elif kind == "finish":
+        state.finished = True
+
+
+class Study:
+    """Handle on one named study inside a storage backend.
+
+    The handle keeps a local :class:`StudyState` cache and an applied
+    sequence number; :meth:`refresh` folds any ops other processes have
+    appended since.  All mutating methods are compound *refresh →
+    validate → append → apply* operations under the backend's writer
+    lock, so concurrent workers on separate processes interleave safely.
+    """
+
+    def __init__(self, storage: StorageBackend, name: str) -> None:
+        self.storage = storage
+        self.name = name
+        self.state = StudyState(name=name)
+        self._applied_seq = -1
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        storage: StorageBackend,
+        name: str,
+        meta: Optional[dict] = None,
+        exist_ok: bool = False,
+    ) -> "Study":
+        study = cls(storage, name)
+        with storage.lock():
+            study.refresh()
+            if study.state.created:
+                if exist_ok:
+                    return study
+                raise StudyError(f"study {name!r} already exists")
+            study._append({"op": "create", "meta": dict(meta or {})})
+        return study
+
+    @classmethod
+    def load(cls, storage: StorageBackend, name: str) -> "Study":
+        study = cls(storage, name)
+        study.refresh()
+        if not study.state.created:
+            raise StudyError(f"study {name!r} does not exist in this storage")
+        return study
+
+    # -- log plumbing --------------------------------------------------------
+    def refresh(self) -> None:
+        """Fold every op appended since the last refresh."""
+        for seq, op in self.storage.read(self._applied_seq + 1):
+            if op.get("study") == self.name:
+                _apply(self.state, seq, op)
+            self._applied_seq = seq
+
+    def _append(self, op: dict) -> int:
+        """Append one op (stamped with the study name) and apply it
+        locally -- callers hold the lock, so the returned seq is exactly
+        the next unapplied one."""
+        op = {**op, "study": self.name}
+        seq = self.storage.append([op])
+        if seq == self._applied_seq + 1:
+            _apply(self.state, seq, op)
+            self._applied_seq = seq
+        else:  # another writer slipped in (only possible without a lock)
+            self.refresh()
+        return seq
+
+    # -- trial lifecycle -----------------------------------------------------
+    def enqueue(
+        self,
+        variables: np.ndarray,
+        operator: str = "service",
+    ) -> int:
+        """Add one pending trial; returns its trial id."""
+        with self.storage.lock():
+            self.refresh()
+            tid = len(self.state.trials)
+            self._append(
+                {
+                    "op": "enqueue",
+                    "trial": tid,
+                    "variables": np.asarray(variables, dtype=float),
+                    "operator": operator,
+                }
+            )
+            return tid
+
+    def claim(
+        self,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> Optional[TrialRecord]:
+        """Claim the oldest eligible pending trial under a ``ttl``-second
+        lease; returns its record (or None when nothing is claimable)."""
+        now = time.time() if now is None else now
+        with self.storage.lock():
+            self.refresh()
+            for tid in sorted(self.state.trials):
+                record = self.state.trials[tid]
+                if record.state == TRIAL_PENDING and record.not_before <= now:
+                    self._append(
+                        {
+                            "op": "claim",
+                            "trial": tid,
+                            "worker": worker,
+                            "expires": now + ttl,
+                        }
+                    )
+                    return self.state.trials[tid]
+            return None
+
+    def heartbeat(
+        self,
+        trial_id: int,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Extend ``worker``'s lease on ``trial_id``; False when the
+        lease was lost (expired and reclaimed, or completed elsewhere)."""
+        now = time.time() if now is None else now
+        with self.storage.lock():
+            self.refresh()
+            record = self.state.trials.get(trial_id)
+            if (
+                record is None
+                or record.state != TRIAL_RUNNING
+                or record.worker != worker
+            ):
+                return False
+            self._append(
+                {
+                    "op": "heartbeat",
+                    "trial": trial_id,
+                    "worker": worker,
+                    "expires": now + ttl,
+                }
+            )
+            return True
+
+    def tell(
+        self,
+        trial_id: int,
+        worker: str,
+        objectives: np.ndarray,
+        constraints: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Report a completed evaluation; exactly-once per trial.
+
+        Returns True when this tell won (first terminal transition),
+        False when the trial was already terminal -- the duplicate is
+        counted and otherwise ignored, which is what keeps NFE exact no
+        matter how many times a re-dispatched trial completes.
+        """
+        with self.storage.lock():
+            self.refresh()
+            record = self.state.trials.get(trial_id)
+            if record is None:
+                raise StudyError(f"unknown trial id {trial_id}")
+            if record.state in _TERMINAL:
+                # Already resolved (a re-dispatched duplicate finished
+                # late): suppressed with no log traffic.  Deliberately
+                # no local counter bump -- the folded state must stay a
+                # pure function of the log (replay == live view).
+                return False
+            self._append(
+                {
+                    "op": "complete",
+                    "trial": trial_id,
+                    "worker": worker,
+                    "objectives": np.asarray(objectives, dtype=float),
+                    "constraints": (
+                        None
+                        if constraints is None
+                        else np.asarray(constraints, dtype=float)
+                    ),
+                }
+            )
+            return True
+
+    def fail(
+        self,
+        trial_id: int,
+        worker: str,
+        reason: str,
+        retry: Optional[RetryPolicy] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Report a failed evaluation attempt: re-queue with backoff, or
+        dead-letter once the retry budget is exhausted.  Returns the
+        trial's resulting state."""
+        retry = retry or RetryPolicy()
+        now = time.time() if now is None else now
+        with self.storage.lock():
+            self.refresh()
+            record = self.state.trials.get(trial_id)
+            if record is None:
+                raise StudyError(f"unknown trial id {trial_id}")
+            if record.state in _TERMINAL:
+                return record.state
+            return self._requeue_or_deadletter(record, reason, retry, now)
+
+    def reclaim_stale(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        now: Optional[float] = None,
+    ) -> list[tuple[int, str]]:
+        """Re-queue every running trial whose lease has expired (its
+        worker is presumed dead); dead-letter trials over the retry
+        budget.  Returns ``[(trial_id, new_state), ...]``."""
+        retry = retry or RetryPolicy()
+        now = time.time() if now is None else now
+        actions: list[tuple[int, str]] = []
+        with self.storage.lock():
+            self.refresh()
+            for tid in sorted(self.state.trials):
+                record = self.state.trials[tid]
+                if (
+                    record.state == TRIAL_RUNNING
+                    and record.lease_expires is not None
+                    and record.lease_expires < now
+                ):
+                    outcome = self._requeue_or_deadletter(
+                        record, f"lease expired (worker {record.worker})",
+                        retry, now,
+                    )
+                    actions.append((tid, outcome))
+        return actions
+
+    def _requeue_or_deadletter(
+        self, record: TrialRecord, reason: str, retry: RetryPolicy, now: float
+    ) -> str:
+        if record.attempts >= retry.budget:
+            self._append(
+                {
+                    "op": "deadletter",
+                    "trial": record.trial_id,
+                    "reason": f"{reason}; retry budget "
+                    f"({retry.budget}) exhausted",
+                }
+            )
+            return TRIAL_FAILED
+        self._append(
+            {
+                "op": "requeue",
+                "trial": record.trial_id,
+                "not_before": now + retry.backoff(record.attempts),
+                "reason": reason,
+            }
+        )
+        return TRIAL_PENDING
+
+    # -- named leases (leader election) --------------------------------------
+    def acquire_lease(
+        self,
+        key: str,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Acquire (or renew, if already held by ``worker``) the named
+        lease; False when a live holder exists."""
+        now = time.time() if now is None else now
+        with self.storage.lock():
+            self.refresh()
+            held = self.state.leases.get(key)
+            if held is not None and held[0] != worker and held[1] >= now:
+                return False
+            self._append(
+                {
+                    "op": "lease",
+                    "key": key,
+                    "worker": worker,
+                    "expires": now + ttl,
+                }
+            )
+            return True
+
+    def release_lease(self, key: str, worker: str) -> None:
+        with self.storage.lock():
+            self.refresh()
+            held = self.state.leases.get(key)
+            if held is not None and held[0] == worker:
+                self._append(
+                    {"op": "lease", "key": key, "worker": worker,
+                     "expires": None}
+                )
+
+    def lease_holder(
+        self, key: str, now: Optional[float] = None
+    ) -> Optional[str]:
+        """Current live holder of the named lease, or None."""
+        now = time.time() if now is None else now
+        held = self.state.leases.get(key)
+        if held is None or held[1] < now:
+            return None
+        return held[0]
+
+    # -- engine snapshots ----------------------------------------------------
+    def save_snapshot(
+        self, blob: dict, ingested: Sequence[int], nfe: int
+    ) -> None:
+        """Persist the master's engine state (a plain
+        :func:`repro.core.checkpoint.engine_state` dict) together with
+        the set of trial ids it has ingested -- the exactly-once
+        frontier a failover master resumes from."""
+        with self.storage.lock():
+            self.refresh()
+            self._append(
+                {
+                    "op": "snapshot",
+                    "blob": blob,
+                    "ingested": sorted(int(i) for i in ingested),
+                    "nfe": int(nfe),
+                }
+            )
+
+    def finish(self) -> None:
+        """Mark the study finished (workers drain and exit)."""
+        with self.storage.lock():
+            self.refresh()
+            if not self.state.finished:
+                self._append({"op": "finish"})
+
+    # -- introspection -------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        return self.state.counts()
+
+    def completed_trials(self) -> list[TrialRecord]:
+        """Completed trials in completion (log) order -- the order a
+        failover master re-ingests them in."""
+        done = [
+            r for r in self.state.trials.values()
+            if r.state == TRIAL_COMPLETE
+        ]
+        done.sort(key=lambda r: r.completed_seq)
+        return done
+
+    def dump_state(self) -> bytes:
+        """Canonical byte serialization of the folded state, for
+        replay-parity assertions (live view vs cold replay).
+
+        Rendered via ``repr`` of a primitives-only structure rather
+        than pickle: pickle memoizes shared object *identities*, which
+        legitimately differ between a live view and a cold replay even
+        when every value is equal.  Arrays are canonicalized to their
+        raw little-endian bytes.
+        """
+        state = self.state
+        canon = (
+            state.name,
+            sorted(state.meta.items(), key=lambda kv: kv[0]),
+            [
+                (
+                    tid,
+                    record.variables.tobytes(),
+                    record.operator,
+                    record.state,
+                    None
+                    if record.objectives is None
+                    else record.objectives.tobytes(),
+                    None
+                    if record.constraints is None
+                    else record.constraints.tobytes(),
+                    record.worker,
+                    record.lease_expires,
+                    record.attempts,
+                    record.not_before,
+                    record.error,
+                    record.completed_by,
+                    record.completed_seq,
+                )
+                for tid, record in sorted(state.trials.items())
+            ],
+            sorted(state.leases.items()),
+            state.snapshot_seq,
+            state.completed,
+            state.failed,
+            state.duplicate_tells,
+            state.reclaims,
+            state.finished,
+        )
+        return repr(canon).encode("utf-8")
+
+
+def list_studies(storage: StorageBackend) -> list[str]:
+    """Names of every study created in ``storage``, in creation order."""
+    names: list[str] = []
+    for _, op in storage.read(0):
+        if op.get("op") == "create" and op.get("study") not in names:
+            names.append(op["study"])
+    return names

@@ -179,3 +179,38 @@ class TestCheckpointFormat:
         save_checkpoint(moea.engine, ck)  # overwrite in place
         leftovers = [p for p in tmp_path.iterdir() if p.name != "ck.pkl"]
         assert leftovers == []
+
+    def test_atomic_write_is_durable(self, tmp_path, monkeypatch):
+        """The temp file must be fsynced *before* the rename (else a
+        power cut can promote an empty file over the good checkpoint)
+        and the directory fsynced *after* (else the rename itself may
+        not survive)."""
+        import os
+        import stat
+
+        from repro.core.checkpoint import _atomic_pickle
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            kind = (
+                "dir" if stat.S_ISDIR(os.fstat(fd).st_mode) else "file"
+            )
+            events.append(("fsync", kind))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        _atomic_pickle({"payload": 1}, tmp_path / "durable.pkl")
+        assert events == [
+            ("fsync", "file"),   # data on disk before it can be promoted
+            ("replace", None),
+            ("fsync", "dir"),    # the promotion itself on disk
+        ]
+        with open(tmp_path / "durable.pkl", "rb") as fh:
+            assert pickle.load(fh) == {"payload": 1}

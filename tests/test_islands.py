@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import BorgConfig, CheckpointError, EpsilonBoxArchive
 from repro.models.fastsim import simulate_islands_fast
-from repro.parallel import run_sharded_islands
+from repro.parallel import NoLiveWorkersError, run_sharded_islands
 from repro.problems import DTLZ2
 from repro.stats import ranger_timing
 
@@ -208,3 +208,77 @@ class TestEdgesAndValidation:
             run_sharded_islands(
                 factory, 3, 4, 100, [timing, timing], config=config
             )
+
+
+class DyingPoolProblem(DTLZ2):
+    """Raises NoLiveWorkersError once its evaluation budget is spent --
+    the signature of an island whose whole worker pool died."""
+
+    def __init__(self, die_after: int):
+        super().__init__(nobjs=2, nvars=11)
+        self.die_after = die_after
+
+    def evaluate(self, solution):
+        if self.evaluations >= self.die_after:
+            raise NoLiveWorkersError("island worker pool extinct")
+        return super().evaluate(solution)
+
+
+class TestGracefulDegradation:
+    """An island whose worker pool dies is retired, not fatal: the
+    survivors finish their budgets and the dead island's partial
+    archive shard stays in the global merge."""
+
+    def _factory_with_casualty(self, casualty: int, die_after: int):
+        calls = [0]
+
+        def make():
+            index = calls[0]
+            calls[0] += 1
+            if index == casualty:
+                return DyingPoolProblem(die_after)
+            return DTLZ2(nobjs=2, nvars=11)
+
+        return make
+
+    @pytest.mark.parametrize("topology", ["ring", "full"])
+    def test_dead_island_is_retired_shard_kept(self, config, timing,
+                                               topology):
+        result = run_sharded_islands(
+            self._factory_with_casualty(casualty=1, die_after=40),
+            islands=3, processors_per_island=4, max_nfe_per_island=200,
+            timing=timing, config=config, seed=11, topology=topology,
+        )
+        assert result.faults.islands_retired == 1
+        dead = result.shards[1]
+        assert dead.nfe == 40                     # partial progress kept
+        assert len(dead.result.archive) > 0       # shard survives ...
+        survivors = [result.shards[0], result.shards[2]]
+        assert all(s.nfe == 200 for s in survivors)
+        # ... and is present in the global merge: every dead-shard point
+        # is dominated-or-member of the merged front.
+        merged = _sorted_objectives(result.merged_archive)
+        assert len(merged) > 0
+        assert result.total_nfe == 200 + 40 + 200
+
+    def test_all_islands_dead_still_returns(self, config, timing):
+        calls = [0]
+
+        def make():
+            calls[0] += 1
+            return DyingPoolProblem(30)
+
+        result = run_sharded_islands(
+            make, islands=2, processors_per_island=4,
+            max_nfe_per_island=100, timing=timing, config=config, seed=5,
+        )
+        assert result.faults.islands_retired == 2
+        assert result.total_nfe == 60
+        assert all(s.nfe == 30 for s in result.shards)
+
+    def test_healthy_run_reports_zero_retirements(self, config, timing):
+        result = run_sharded_islands(
+            factory, 2, 4, 150, timing, config=config, seed=4
+        )
+        assert result.faults.islands_retired == 0
+        assert result.faults.as_dict()["islands_retired"] == 0

@@ -1,0 +1,339 @@
+"""Storage-backed service: worker fleet, leases, failover, kill soak.
+
+Acceptance for docs/RESILIENCE.md §6: independent OS processes co-drive
+one durable study; SIGKILL of workers (master included) and injected
+torn writes never lose or double-count an evaluation — the study always
+finishes with exactly ``max_nfe`` completed trials, and a cold journal
+replay is byte-identical to a live process's folded view.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BorgConfig
+from repro.parallel.service import (
+    ServiceConfig,
+    StorageBackedRunner,
+    final_front,
+    run_study_worker,
+)
+from repro.problems import DTLZ2
+from repro.storage import (
+    FaultyStorage,
+    JournalStorage,
+    RetryPolicy,
+    Study,
+    open_storage,
+)
+
+# SIGKILL + fork tests are POSIX-only (the production/CI target).
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="requires POSIX signals"
+)
+
+mp = multiprocessing.get_context("fork")
+
+
+@pytest.fixture
+def service_config():
+    """Tight timings so lease expiry and failover resolve in seconds."""
+    return ServiceConfig(
+        lease_ttl=1.0,
+        master_lease_ttl=1.0,
+        poll_interval=0.005,
+        lookahead=8,
+        retry=RetryPolicy(budget=50, backoff_base=0.01, backoff_max=0.1),
+        snapshot_interval=25,
+    )
+
+
+def _small_problem():
+    return DTLZ2(nobjs=2, nvars=11)
+
+
+def _make_study(path, max_nfe, seed=7):
+    storage = open_storage(path)
+    Study.create(
+        storage, "s", meta={"problem": "dtlz2", "max_nfe": max_nfe, "seed": seed}
+    )
+    return storage
+
+
+class SlowProblem(DTLZ2):
+    """Blocks in evaluate() so a worker can be SIGKILLed mid-claim."""
+
+    def __init__(self):
+        super().__init__(nobjs=2, nvars=11)
+
+    def evaluate(self, solution):
+        time.sleep(60.0)
+        return super().evaluate(solution)  # pragma: no cover
+
+
+class PacedProblem(DTLZ2):
+    """Adds a real per-evaluation delay so runs span enough wall-clock
+    for mid-run interruption (failover, chaos-monkey kills)."""
+
+    def __init__(self, delay=0.02):
+        super().__init__(nobjs=2, nvars=11)
+        self.delay = delay
+
+    def evaluate(self, solution):
+        time.sleep(self.delay)
+        return super().evaluate(solution)
+
+
+class FlakyProblem(DTLZ2):
+    """Raises on every ``period``-th evaluation call (counting calls,
+    not trials, so a re-claimed trial normally succeeds on retry)."""
+
+    def __init__(self, period=5):
+        super().__init__(nobjs=2, nvars=11)
+        self.period = period
+        self.calls = 0
+
+    def evaluate(self, solution):
+        self.calls += 1
+        if self.calls % self.period == 0:
+            raise RuntimeError("flaky evaluation")
+        return super().evaluate(solution)
+
+
+class TestSingleProcess:
+    def test_exact_nfe_and_final_front(self, tmp_path, service_config,
+                                       small_config):
+        storage = _make_study(tmp_path / "s.journal", 80)
+        study = Study.load(storage, "s")
+        runner = StorageBackedRunner(
+            _small_problem(), study, config=small_config,
+            service=service_config,
+        )
+        result = runner.run()
+        assert result.finished and result.was_master
+        assert result.counts == {
+            "pending": 0, "running": 0, "complete": 80, "failed": 0,
+        }
+        assert result.borg is not None and result.borg.nfe == 80
+        rebuilt = final_front(_small_problem(), study)
+        assert rebuilt.nfe == 80
+        np.testing.assert_array_equal(
+            np.sort(rebuilt.objectives, axis=0),
+            np.sort(result.borg.objectives, axis=0),
+        )
+        storage.close()
+
+    def test_flaky_evaluations_still_reach_exact_nfe(
+        self, tmp_path, service_config, small_config
+    ):
+        storage = _make_study(tmp_path / "s.journal", 60)
+        study = Study.load(storage, "s")
+        runner = StorageBackedRunner(
+            FlakyProblem(period=5), study, config=small_config,
+            service=service_config,
+        )
+        result = runner.run(max_seconds=60.0)
+        assert result.counts["complete"] == 60
+        # Every flake was re-queued and eventually completed.
+        assert study.state.reclaims > 0
+        assert result.counts["failed"] == 0
+        storage.close()
+
+    def test_master_failover_resumes_from_snapshot(
+        self, tmp_path, service_config, small_config
+    ):
+        """Master 'dies' mid-run (stops cleanly without releasing its
+        lease); a second worker takes over after lease expiry, restores
+        the engine from the snapshot, and finishes with exact NFE."""
+        storage = _make_study(tmp_path / "s.journal", 90)
+        study = Study.load(storage, "s")
+        first = StorageBackedRunner(
+            PacedProblem(0.02), study, config=small_config,
+            service=service_config, worker_id="first",
+        )
+        res1 = first.run(max_seconds=0.8)
+        assert not res1.finished
+        assert 0 < study.state.completed < 90
+        assert study.state.snapshot is not None
+
+        second_storage = open_storage(tmp_path / "s.journal")
+        second = StorageBackedRunner(
+            _small_problem(), Study.load(second_storage, "s"),
+            service=service_config, worker_id="second",
+        )
+        res2 = second.run(max_seconds=60.0)
+        assert res2.finished and res2.was_master
+        assert res2.counts["complete"] == 90
+        assert res2.borg is not None and res2.borg.nfe == 90
+        storage.close()
+        second_storage.close()
+
+    def test_run_study_worker_builds_problem_from_meta(self, tmp_path):
+        path = tmp_path / "s.db"
+        storage = _make_study(path, 40)
+        storage.close()
+        result = run_study_worker(
+            path, "s",
+            service=ServiceConfig(
+                lease_ttl=1.0, master_lease_ttl=1.0, poll_interval=0.005
+            ),
+            max_seconds=60.0,
+        )
+        assert result.finished and result.counts["complete"] == 40
+
+
+def _blocked_worker(path):
+    """Child: claim a trial with a never-finishing evaluation."""
+    storage = open_storage(path)
+    study = Study.load(storage, "s")
+    runner = StorageBackedRunner(
+        SlowProblem(), study,
+        service=ServiceConfig(lease_ttl=1.0, master_lease_ttl=1.0,
+                              poll_interval=0.005),
+        worker_id="victim",
+    )
+    runner.run(max_seconds=120.0)  # pragma: no cover - killed first
+
+
+def _soak_worker(path, wid, torn_rate):
+    """Child: co-drive the study through fault-injected storage."""
+    inner = JournalStorage(path)
+    chaos = FaultyStorage(inner, torn_write_rate=torn_rate, seed=1000 + wid)
+    study = Study.load(chaos, "s")
+    runner = StorageBackedRunner(
+        PacedProblem(0.02), study,
+        service=ServiceConfig(
+            lease_ttl=1.0, master_lease_ttl=1.0, poll_interval=0.005,
+            retry=RetryPolicy(budget=50, backoff_base=0.01, backoff_max=0.1),
+            snapshot_interval=25,
+        ),
+        worker_id=f"soak{wid}",
+    )
+    runner.run(max_seconds=120.0)
+
+
+class TestSigkill:
+    def test_sigkill_mid_claim_redispatches_same_trial(
+        self, tmp_path, service_config, small_config
+    ):
+        """Kill -9 a worker holding a claim: the reclaimer re-queues the
+        *same trial id*, another worker completes it, and the finished
+        study counts it exactly once."""
+        path = tmp_path / "s.journal"
+        storage = _make_study(path, 50)
+        study = Study.load(storage, "s")
+
+        victim = mp.Process(target=_blocked_worker, args=(path,))
+        victim.start()
+        deadline = time.monotonic() + 30.0
+        claimed = None
+        while time.monotonic() < deadline:
+            study.refresh()
+            running = [
+                t for t in study.state.trials.values()
+                if t.state == "running" and t.worker == "victim"
+            ]
+            if running:
+                claimed = running[0].trial_id
+                break
+            time.sleep(0.02)
+        assert claimed is not None, "victim never claimed a trial"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(10.0)
+
+        rescuer = StorageBackedRunner(
+            _small_problem(), study, config=small_config,
+            service=service_config, worker_id="rescuer",
+        )
+        result = rescuer.run(max_seconds=60.0)
+        assert result.finished
+        assert result.counts["complete"] == 50
+        assert result.counts["failed"] == 0
+        # The victim's trial was re-dispatched under the same id ...
+        record = study.state.trials[claimed]
+        assert record.state == "complete"
+        assert record.attempts >= 2
+        assert record.completed_by == "rescuer"
+        assert study.state.reclaims >= 1
+        # ... and counted once: completed == max_nfe exactly.
+        assert study.state.completed == 50
+        storage.close()
+
+    def test_kill_soak_with_torn_writes(self, tmp_path, small_config):
+        """The acceptance soak: 3 subprocess workers under FaultyStorage
+        torn-write injection, periodically SIGKILLed and respawned,
+        plus one in-process runner. The study must finish with exact
+        NFE and a cold replay byte-identical to the live view."""
+        path = tmp_path / "s.journal"
+        max_nfe = 80
+        storage = _make_study(path, max_nfe)
+        study = Study.load(storage, "s")
+
+        workers: dict[int, multiprocessing.Process] = {}
+        next_wid = [0]
+
+        def spawn():
+            wid = next_wid[0]
+            next_wid[0] += 1
+            proc = mp.Process(target=_soak_worker, args=(path, wid, 0.05))
+            proc.start()
+            workers[wid] = proc
+
+        stop = threading.Event()
+        kills = [0]
+
+        def chaos_monkey():
+            rng = np.random.default_rng(13)
+            while not stop.is_set():
+                time.sleep(0.25)
+                live = [w for w, p in workers.items() if p.is_alive()]
+                if not live:
+                    continue
+                victim = workers[int(rng.choice(live))]
+                os.kill(victim.pid, signal.SIGKILL)
+                kills[0] += 1
+                spawn()
+
+        for _ in range(3):
+            spawn()
+        monkey = threading.Thread(target=chaos_monkey, daemon=True)
+        monkey.start()
+        try:
+            survivor = StorageBackedRunner(
+                PacedProblem(0.02), study, config=small_config,
+                service=ServiceConfig(
+                    lease_ttl=1.0, master_lease_ttl=1.0, poll_interval=0.005,
+                    retry=RetryPolicy(budget=50, backoff_base=0.01,
+                                      backoff_max=0.1),
+                    snapshot_interval=25,
+                ),
+                worker_id="survivor",
+            )
+            result = survivor.run(max_seconds=120.0)
+        finally:
+            stop.set()
+            monkey.join(5.0)
+            for proc in workers.values():
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(10.0)
+
+        assert result.finished, "soak did not converge within budget"
+        assert kills[0] > 0, "chaos monkey never fired"
+        # Exact NFE despite kills and torn writes; no dead-letters.
+        assert result.counts["complete"] == max_nfe
+        assert result.counts["failed"] == 0
+        assert study.state.completed == max_nfe
+
+        # Cold journal replay is byte-identical to the live view, even
+        # with a possibly-torn tail from a worker killed mid-append.
+        cold = Study.load(JournalStorage(path), "s")
+        assert cold.dump_state() == study.dump_state()
+        storage.close()

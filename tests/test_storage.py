@@ -1,0 +1,433 @@
+"""Durable storage layer: backends, journal recovery, study protocol.
+
+The crash-safety contract under test (docs/RESILIENCE.md §6):
+
+* replay of a journal with a torn or bit-flipped tail yields exactly
+  the prefix of intact records (fuzzed over randomized record
+  boundaries);
+* the live folded study state and a cold replay are byte-identical
+  (``Study.dump_state``);
+* ``tell`` is exactly-once per trial; expired leases are re-queued with
+  capped-exponential backoff and dead-lettered past the retry budget.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    FaultyStorage,
+    InMemoryStorage,
+    JournalStorage,
+    RetryPolicy,
+    SQLiteStorage,
+    StorageError,
+    StorageLockTimeout,
+    Study,
+    StudyError,
+    list_studies,
+    open_storage,
+)
+from repro.storage.journal import encode_record, scan_all
+
+BACKENDS = ("memory", "journal", "sqlite")
+
+
+def make_storage(kind: str, tmp_path):
+    if kind == "memory":
+        return InMemoryStorage()
+    if kind == "journal":
+        return JournalStorage(tmp_path / "log.journal")
+    return SQLiteStorage(tmp_path / "log.db")
+
+
+@pytest.fixture(params=BACKENDS)
+def storage(request, tmp_path):
+    backend = make_storage(request.param, tmp_path)
+    yield backend
+    backend.close()
+
+
+class TestBackendContract:
+    def test_append_read_roundtrip(self, storage):
+        ops = [{"op": "x", "i": i, "v": list(range(i))} for i in range(7)]
+        last = storage.append(ops)
+        assert last == 6
+        got = storage.read(0)
+        assert [seq for seq, _ in got] == list(range(7))
+        assert [op for _, op in got] == ops
+
+    def test_read_from_offset(self, storage):
+        storage.append([{"op": "a", "i": i} for i in range(5)])
+        got = storage.read(3)
+        assert [seq for seq, _ in got] == [3, 4]
+        assert [op["i"] for _, op in got] == [3, 4]
+
+    def test_empty_append_is_noop(self, storage):
+        assert storage.append([]) == -1
+        storage.append([{"op": "a"}])
+        assert storage.append([]) == 0
+        assert len(storage.read(0)) == 1
+
+    def test_lock_is_reentrant(self, storage):
+        with storage.lock():
+            with storage.lock():
+                storage.append([{"op": "nested"}])
+        assert storage.read(0)[0][1]["op"] == "nested"
+
+    def test_payloads_are_isolated(self, storage):
+        op = {"op": "a", "arr": [1, 2, 3]}
+        storage.append([op])
+        op["arr"].append(99)  # caller mutates after append
+        assert storage.read(0)[0][1]["arr"] == [1, 2, 3]
+
+    def test_second_consumer_sees_everything(self, storage, tmp_path):
+        storage.append([{"op": "a", "i": i} for i in range(4)])
+        if isinstance(storage, InMemoryStorage):
+            pytest.skip("in-memory storage is single-process by design")
+        fresh = type(storage)(storage.path)
+        try:
+            assert [op["i"] for _, op in fresh.read(0)] == [0, 1, 2, 3]
+        finally:
+            fresh.close()
+
+
+class TestOpenStorage:
+    def test_spec_dispatch(self, tmp_path):
+        mem = open_storage("memory://")
+        journal = open_storage(tmp_path / "a.journal")
+        sqlite = open_storage(tmp_path / "a.db")
+        try:
+            assert isinstance(mem, InMemoryStorage)
+            assert isinstance(journal, JournalStorage)
+            assert isinstance(sqlite, SQLiteStorage)
+        finally:
+            for backend in (mem, journal, sqlite):
+                backend.close()
+
+
+class TestJournalRecovery:
+    """Fuzzed torn/corrupt tails must replay to the intact prefix."""
+
+    @staticmethod
+    def _ops(n):
+        return [{"op": "w", "i": i, "blob": "x" * (17 * (i + 1))} for i in range(n)]
+
+    def test_truncation_fuzz_over_record_boundaries(self, tmp_path):
+        """Cut the file at every interesting byte offset: replay must
+        yield exactly the records that fit whole before the cut."""
+        rng = np.random.default_rng(7)
+        ops = self._ops(6)
+        records = [encode_record(op) for op in ops]
+        ends = np.cumsum([len(r) for r in records])
+        blob = b"".join(records)
+        # Every boundary, plus random mid-record cuts.
+        cuts = set(ends.tolist()) | {0} | {
+            int(c) for c in rng.integers(1, len(blob), size=60)
+        }
+        for cut in sorted(cuts):
+            path = tmp_path / "fuzz.journal"
+            path.write_bytes(blob[:cut])
+            intact = int(np.searchsorted(ends, cut, side="right"))
+            journal = JournalStorage(path)
+            try:
+                got = journal.read(0)
+                assert [op for _, op in got] == ops[:intact], f"cut={cut}"
+            finally:
+                journal.close()
+
+    def test_bitflip_fuzz_yields_intact_prefix(self, tmp_path):
+        """Flip one byte anywhere: replay stops at (or before) the record
+        containing the flip and every surviving record is genuine."""
+        rng = np.random.default_rng(11)
+        ops = self._ops(6)
+        records = [encode_record(op) for op in ops]
+        ends = np.cumsum([len(r) for r in records])
+        blob = b"".join(records)
+        for pos in rng.integers(0, len(blob), size=80):
+            pos = int(pos)
+            corrupted = bytearray(blob)
+            corrupted[pos] ^= 0xFF
+            path = tmp_path / "flip.journal"
+            path.write_bytes(bytes(corrupted))
+            hit = int(np.searchsorted(ends, pos, side="right"))
+            journal = JournalStorage(path)
+            try:
+                got = [op for _, op in journal.read(0)]
+            finally:
+                journal.close()
+            # Never longer than the prefix before the flipped record,
+            # and what is returned must be the true prefix.
+            assert len(got) <= hit, f"pos={pos}"
+            assert got == ops[: len(got)], f"pos={pos}"
+
+    def test_recover_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "heal.journal"
+        journal = JournalStorage(path)
+        journal.append(self._ops(4))
+        size_before = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(encode_record({"op": "torn"})[:9])  # partial record
+        intact, torn = journal.recover()
+        assert (intact, torn) == (4, 9)
+        assert path.stat().st_size == size_before
+        journal.close()
+
+    def test_append_over_torn_tail_heals(self, tmp_path):
+        path = tmp_path / "heal2.journal"
+        journal = JournalStorage(path)
+        journal.append(self._ops(3))
+        with pytest.raises(StorageError):
+            journal.torn_append({"op": "crash"}, fraction=0.5)
+        journal.append([{"op": "next"}])
+        ops = [op["op"] for _, op in journal.read(0)]
+        assert ops == ["w", "w", "w", "next"]
+        # And the healed file is byte-clean: a raw scan finds no garbage.
+        _, clean_end = scan_all(path.read_bytes())
+        assert clean_end == path.stat().st_size
+        journal.close()
+
+    def test_reader_never_truncates(self, tmp_path):
+        """A torn tail may be a peer's in-flight append: pure reads must
+        leave the bytes alone (only a lock-holding writer heals)."""
+        path = tmp_path / "peer.journal"
+        journal = JournalStorage(path)
+        journal.append(self._ops(2))
+        with open(path, "ab") as fh:
+            fh.write(encode_record({"op": "inflight"})[:11])
+        size = path.stat().st_size
+        assert len(journal.read(0)) == 2
+        assert len(journal) == 2
+        assert path.stat().st_size == size
+
+    def test_oversize_length_field_is_corruption(self, tmp_path):
+        path = tmp_path / "big.journal"
+        journal = JournalStorage(path)
+        journal.append(self._ops(2))
+        import struct
+        import zlib
+
+        payload = pickle.dumps({"op": "evil"})
+        with open(path, "ab") as fh:  # 1 GiB claimed length
+            fh.write(
+                struct.pack(
+                    "<2sII", b"RJ", 1 << 30, zlib.crc32(payload)
+                ) + payload
+            )
+        assert len(journal.read(0)) == 2
+        journal.close()
+
+
+class TestJournalLocking:
+    def test_lock_timeout_raises(self, tmp_path):
+        a = JournalStorage(tmp_path / "l.journal")
+        b = JournalStorage(tmp_path / "l.journal", lock_timeout=0.05)
+        with a.lock():
+            with pytest.raises(StorageLockTimeout):
+                with b.lock():
+                    pass  # pragma: no cover
+        a.close()
+        b.close()
+
+
+@pytest.fixture(params=BACKENDS)
+def study(request, tmp_path):
+    backend = make_storage(request.param, tmp_path)
+    yield Study.create(backend, "s", meta={"seed": 1})
+    backend.close()
+
+
+class TestStudyLifecycle:
+    def test_create_load_and_duplicates(self, storage):
+        Study.create(storage, "a", meta={"k": 1})
+        with pytest.raises(StudyError):
+            Study.create(storage, "a")
+        again = Study.create(storage, "a", exist_ok=True)
+        assert again.state.meta == {"k": 1}
+        with pytest.raises(StudyError):
+            Study.load(storage, "missing")
+        assert list_studies(storage) == ["a"]
+
+    def test_claim_tell_exactly_once(self, study):
+        tid = study.enqueue(np.array([0.1, 0.2]))
+        record = study.claim("w0", ttl=60.0, now=100.0)
+        assert record.trial_id == tid and record.state == "running"
+        assert study.claim("w1", ttl=60.0, now=100.0) is None
+        assert study.tell(tid, "w0", np.array([1.0, 2.0])) is True
+        # A late duplicate (reclaimed worker finishing anyway) loses.
+        assert study.tell(tid, "w1", np.array([9.0, 9.0])) is False
+        assert study.state.completed == 1
+        done = study.completed_trials()
+        assert len(done) == 1 and done[0].completed_by == "w0"
+        np.testing.assert_array_equal(done[0].objectives, [1.0, 2.0])
+
+    def test_heartbeat_extends_lease(self, study):
+        tid = study.enqueue(np.zeros(2))
+        study.claim("w0", ttl=10.0, now=0.0)
+        assert study.heartbeat(tid, "w0", ttl=10.0, now=8.0) is True
+        # Lease now runs to t=18: not stale at t=12.
+        assert study.reclaim_stale(now=12.0) == []
+        assert study.heartbeat(tid, "w1", ttl=10.0, now=8.0) is False
+
+    def test_reclaim_requeues_same_trial_with_backoff(self, study):
+        retry = RetryPolicy(budget=5, backoff_base=0.5, backoff_max=16.0)
+        tid = study.enqueue(np.zeros(2))
+        study.claim("w0", ttl=10.0, now=0.0)
+        actions = study.reclaim_stale(retry, now=11.0)
+        assert actions == [(tid, "pending")]
+        record = study.state.trials[tid]
+        assert record.not_before == pytest.approx(11.0 + 0.5)  # 1 attempt
+        # Backoff gates the next claim.
+        assert study.claim("w1", ttl=10.0, now=11.2) is None
+        reclaimed = study.claim("w1", ttl=10.0, now=11.6)
+        assert reclaimed is not None and reclaimed.trial_id == tid
+        assert study.state.reclaims == 1
+
+    def test_retry_budget_dead_letters(self, study):
+        retry = RetryPolicy(budget=2, backoff_base=0.0)
+        tid = study.enqueue(np.zeros(2))
+        now = 0.0
+        for _ in range(retry.budget):
+            assert study.claim("w0", ttl=1.0, now=now) is not None
+            now += 2.0
+            study.reclaim_stale(retry, now=now)
+        assert study.state.trials[tid].state == "failed"
+        assert study.state.failed == 1
+        assert study.claim("w0", ttl=1.0, now=now + 1) is None
+
+    def test_fail_requeues_then_dead_letters(self, study):
+        retry = RetryPolicy(budget=2, backoff_base=0.0)
+        tid = study.enqueue(np.zeros(2))
+        study.claim("w0", ttl=60.0, now=0.0)
+        assert study.fail(tid, "w0", "boom", retry, now=1.0) == "pending"
+        study.claim("w0", ttl=60.0, now=2.0)
+        assert study.fail(tid, "w0", "boom", retry, now=3.0) == "failed"
+        assert "budget" in study.state.trials[tid].error
+
+    def test_backoff_is_capped_exponential(self):
+        retry = RetryPolicy(budget=99, backoff_base=0.1, backoff_max=1.0)
+        delays = [retry.backoff(a) for a in range(1, 8)]
+        assert delays[:4] == pytest.approx([0.1, 0.2, 0.4, 0.8])
+        assert delays[4:] == pytest.approx([1.0, 1.0, 1.0])
+
+    def test_named_lease_election(self, study):
+        assert study.acquire_lease("master", "w0", ttl=10.0, now=0.0)
+        assert study.lease_holder("master", now=5.0) == "w0"
+        assert not study.acquire_lease("master", "w1", ttl=10.0, now=5.0)
+        # Holder renews; takeover only after expiry.
+        assert study.acquire_lease("master", "w0", ttl=10.0, now=9.0)
+        assert study.acquire_lease("master", "w1", ttl=10.0, now=20.0)
+        assert study.lease_holder("master", now=21.0) == "w1"
+        study.release_lease("master", "w1")
+        assert study.lease_holder("master", now=21.0) is None
+
+    def test_snapshot_roundtrip(self, study):
+        study.save_snapshot({"nfe": 3}, ingested=[2, 0, 1], nfe=3)
+        snap = study.state.snapshot
+        assert snap["nfe"] == 3 and snap["ingested"] == [0, 1, 2]
+
+    def test_finish_is_idempotent(self, study):
+        study.finish()
+        seq_after = len(study.storage.read(0))
+        study.finish()
+        assert len(study.storage.read(0)) == seq_after
+        assert study.state.finished
+
+
+class TestReplayParity:
+    """Live folded view == cold replay, byte for byte."""
+
+    @pytest.mark.parametrize("kind", BACKENDS)
+    def test_full_lifecycle_replays_bit_identically(self, kind, tmp_path):
+        backend = make_storage(kind, tmp_path)
+        study = Study.create(backend, "s", meta={"seed": 3})
+        retry = RetryPolicy(budget=3, backoff_base=0.0)
+        rng = np.random.default_rng(5)
+        for i in range(6):
+            study.enqueue(rng.random(4), operator="sbx")
+        study.claim("w0", ttl=1.0, now=0.0)
+        study.claim("w1", ttl=60.0, now=0.0)
+        study.reclaim_stale(retry, now=5.0)       # w0's lease expired
+        study.claim("w2", ttl=60.0, now=6.0)      # re-dispatch
+        study.tell(1, "w1", rng.random(2))
+        study.tell(0, "w2", rng.random(2))
+        # Late duplicate: suppressed with no log traffic, so it cannot
+        # perturb parity.
+        assert study.tell(0, "w0", rng.random(2)) is False
+        study.fail(2, "w1", "boom", retry, now=7.0)
+        study.acquire_lease("master", "w1", ttl=60.0, now=7.0)
+        study.save_snapshot({"x": 1}, ingested=[0, 1], nfe=2)
+        study.finish()
+
+        replayed = Study.load(backend, "s")
+        assert replayed.dump_state() == study.dump_state()
+        backend.close()
+
+    def test_journal_cold_process_parity(self, tmp_path):
+        """A journal re-opened from disk (new instance, cold cache, torn
+        tail included) folds to the same bytes as the live view."""
+        path = tmp_path / "p.journal"
+        backend = JournalStorage(path)
+        study = Study.create(backend, "s", meta={})
+        study.enqueue(np.array([0.5]))
+        study.claim("w0", ttl=60.0, now=0.0)
+        study.tell(0, "w0", np.array([1.0, 2.0]))
+        with open(path, "ab") as fh:  # torn in-flight append from a peer
+            fh.write(encode_record({"op": "enqueue", "study": "s"})[:7])
+        cold = Study.load(JournalStorage(path), "s")
+        assert cold.dump_state() == study.dump_state()
+        backend.close()
+
+
+class TestFaultyStorage:
+    def test_injection_is_deterministic(self, tmp_path):
+        def run():
+            inner = InMemoryStorage()
+            chaos = FaultyStorage(
+                inner, torn_write_rate=0.3, lock_timeout_rate=0.3, seed=9
+            )
+            outcomes = []
+            for i in range(30):
+                try:
+                    chaos.append([{"op": "x", "i": i}])
+                    outcomes.append("ok")
+                except StorageError:
+                    outcomes.append("fault")
+            return outcomes, dict(chaos.injected)
+
+        first, second = run(), run()
+        assert first == second
+        assert first[1]["torn_write"] > 0
+
+    def test_torn_write_rate_tears_journal_for_real(self, tmp_path):
+        inner = JournalStorage(tmp_path / "c.journal")
+        chaos = FaultyStorage(inner, torn_write_rate=1.0, seed=0)
+        inner.append([{"op": "good"}])
+        with pytest.raises(StorageError):
+            chaos.append([{"op": "doomed"}])
+        # Torn bytes really on disk, invisible to replay, healed on append.
+        assert (tmp_path / "c.journal").stat().st_size > 0
+        assert [op["op"] for _, op in chaos.read(0)] == ["good"]
+        intact, torn = inner.recover()
+        assert intact == 1 and torn > 0
+        inner.close()
+
+    def test_lock_timeout_injection(self):
+        chaos = FaultyStorage(InMemoryStorage(), lock_timeout_rate=1.0, seed=1)
+        with pytest.raises(StorageLockTimeout):
+            with chaos.lock():
+                pass  # pragma: no cover
+        assert chaos.injected["lock_timeout"] == 1
+
+    def test_corrupt_tail_flips_a_byte(self, tmp_path):
+        inner = JournalStorage(tmp_path / "c.journal")
+        chaos = FaultyStorage(inner)
+        inner.append([{"op": "a", "pad": "y" * 64}, {"op": "b"}])
+        assert chaos.corrupt_tail(byte_from_end=3)
+        # The corrupted record vanishes from replay; the prefix survives.
+        ops = [op["op"] for _, op in JournalStorage(tmp_path / "c.journal").read(0)]
+        assert ops == ["a"]
+        inner.close()
