@@ -9,7 +9,10 @@ Commands:
 * ``bounds`` -- evaluate Eqs. 3-4 for a custom (TF, TC, TA) point;
 * ``study`` -- durable optimization service: create a crash-safe study
   and attach worker processes (``create``/``worker``/``status``/
-  ``export``).
+  ``export``);
+* ``serve`` -- live observability: tail a study's journal behind a
+  stdlib HTTP dashboard (REST + SSE; docs/OBSERVABILITY.md), or render
+  a static HTML/CSV report with ``--report``.
 """
 
 from __future__ import annotations
@@ -184,13 +187,47 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--storage", required=True)
     status.add_argument("--name", default=None,
                         help="study to detail (default: list all)")
+    status.add_argument("--watch", action="store_true",
+                        help="follow the journal live (tailer-based; "
+                        "Ctrl-C or study finish to stop)")
+    status.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval for --watch (seconds)")
+    status.add_argument("--max-seconds", type=float, default=None,
+                        help="stop --watch after this long (default: "
+                        "until the study finishes)")
 
     export = study_sub.add_parser(
-        "export", help="write a study's final Pareto front to CSV"
+        "export", help="write a study's final Pareto front to CSV "
+        "(and, with --json, the run's fault/lease counters)"
     )
     export.add_argument("--storage", required=True)
     export.add_argument("--name", default="default")
     export.add_argument("--csv", required=True)
+    export.add_argument("--json", default=None,
+                        help="also write a JSON payload: front plus "
+                        "reclaims/dead-letter/duplicate-tell counters")
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP dashboard over a study storage (REST + SSE + "
+        "single-file UI; stdlib only -- docs/OBSERVABILITY.md)",
+    )
+    serve.add_argument("--storage", required=True,
+                       help="journal path, .db/.sqlite path, or memory://")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8350)
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       help="journal poll cadence for SSE streams (s)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log HTTP requests to stderr")
+    serve.add_argument("--report", default=None, metavar="HTML",
+                       help="instead of serving, write a static HTML "
+                       "report to this path and exit")
+    serve.add_argument("--csv", default=None,
+                       help="with --report: also write a metrics CSV")
+    serve.add_argument("--study", default=None,
+                       help="with --report: study to report on "
+                       "(default: first in storage)")
     return parser
 
 
@@ -496,6 +533,8 @@ def _cmd_study(args) -> int:
             if not names:
                 print(f"no studies in {args.storage}")
                 return 0
+            if args.watch:
+                return _watch_status(storage, names[0], args)
             for name in names:
                 study = Study.load(storage, name)
                 state = study.state
@@ -512,6 +551,8 @@ def _cmd_study(args) -> int:
             return 0
 
         # export
+        import json
+
         from repro.experiments.reporting import write_csv
         from repro.parallel.service import final_front
 
@@ -526,9 +567,110 @@ def _cmd_study(args) -> int:
         write_csv(args.csv, headers, [tuple(row) for row in objectives])
         print(f"wrote {objectives.shape[0]} archive solutions "
               f"(NFE {result.nfe}) to {args.csv}")
+        if args.json:
+            state = study.state
+            payload = {
+                "study": args.name,
+                "problem": state.meta.get("problem"),
+                "nfe": result.nfe,
+                "restarts": result.restarts,
+                "finished": state.finished,
+                "counts": state.counts(),
+                # The run's resilience record, not just its front:
+                "reclaims": state.reclaims,
+                "dead_letters": state.counts()["failed"],
+                "duplicate_tells": state.duplicate_tells,
+                "operator_probabilities": result.operator_probabilities,
+                "front": [[float(x) for x in row] for row in objectives],
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"wrote run summary (reclaims={state.reclaims} "
+                  f"dead_letters={payload['dead_letters']} "
+                  f"duplicate_tells={state.duplicate_tells}) "
+                  f"to {args.json}")
         return 0
     finally:
         storage.close()
+
+
+def _watch_status(storage, name: str, args) -> int:
+    """``repro study status --watch``: follow the journal live, print a
+    status line whenever new ops land (built on the telemetry tailer)."""
+    import time
+
+    from repro.telemetry import JournalTailer, MetricsRegistry
+
+    tailer = JournalTailer(storage, study=name)
+    registry = MetricsRegistry()
+    deadline = (
+        None if args.max_seconds is None
+        else time.monotonic() + args.max_seconds
+    )
+    print(f"watching {name!r} in {args.storage} "
+          f"(poll {args.interval:g}s; Ctrl-C to stop)")
+    try:
+        while True:
+            events = tailer.poll()
+            for event in events:
+                registry.observe(event)
+            if events:
+                state = tailer.state(name)
+                counts = state.counts()
+                c = registry.counters
+                print(f"[{time.strftime('%H:%M:%S')}] "
+                      f"nfe={registry.nfe} "
+                      f"pending={counts['pending']} "
+                      f"running={counts['running']} "
+                      f"completed={counts['complete']} "
+                      f"failed={counts['failed']} "
+                      f"archive={registry.archive_size} "
+                      f"restarts={c['restarts']} "
+                      f"reclaims={c['reclaims']} "
+                      f"dup={c['duplicate_tells']} "
+                      f"master={registry.master or '-'}",
+                      flush=True)
+            if tailer.state(name).finished:
+                print(f"study {name!r} finished "
+                      f"(nfe {registry.nfe})")
+                return 0
+            if deadline is not None and time.monotonic() >= deadline:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro serve``: live dashboard or static report."""
+    if args.report is not None:
+        from repro.storage import open_storage
+        from repro.telemetry.report import generate_report, render_summary
+
+        storage = open_storage(args.storage)
+        try:
+            snapshot = generate_report(
+                storage,
+                study=args.study,
+                html_path=args.report,
+                csv_path=args.csv,
+            )
+        finally:
+            storage.close()
+        print(render_summary(snapshot))
+        print(f"wrote {args.report}"
+              + (f" and {args.csv}" if args.csv else ""))
+        return 0
+    from repro.telemetry.server import serve
+
+    serve(
+        args.storage,
+        host=args.host,
+        port=args.port,
+        poll_interval=args.poll_interval,
+        verbose=args.verbose,
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -541,6 +683,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
         "study": _cmd_study,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 

@@ -161,6 +161,11 @@ class BorgEngine:
         self.on_ingest: Optional[Callable[[Solution], None]] = None
         self.on_restart: Optional[Callable[[RestartPlan], None]] = None
         self.on_improvement: Optional[Callable[[Solution], None]] = None
+        #: Optional telemetry publisher, duck-typed to
+        #: :class:`repro.telemetry.EventBus` (``emit(kind, **data)``).
+        #: ``None`` by default so an unobserved run pays one attribute
+        #: test per would-be event; core never imports telemetry.
+        self.publisher = None
 
     # -- candidate generation ------------------------------------------------
     def next_candidate(self) -> Solution:
@@ -227,11 +232,31 @@ class BorgEngine:
         result = self.archive.add(solution)
         if result.improvement and self.on_improvement is not None:
             self.on_improvement(solution)
+        if self.publisher is not None and result.accepted:
+            self.publisher.emit(
+                "archive-insert",
+                nfe=self.nfe,
+                operator=solution.operator,
+                archive_size=len(self.archive),
+            )
+            if result.improvement:
+                self.publisher.emit(
+                    "epsilon-progress",
+                    nfe=self.nfe,
+                    improvements=self.archive.improvements,
+                    archive_size=len(self.archive),
+                )
 
         if self.nfe % self.config.adaptation_interval == 0:
             self.selector.update(
                 self.archive.operator_counts, self._selection_arrivals()
             )
+            if self.publisher is not None:
+                self.publisher.emit(
+                    "operator-update",
+                    nfe=self.nfe,
+                    probabilities=self.operator_probabilities(),
+                )
 
         # Restarts are atomic in Borg: the stagnation/ratio check must
         # not run while a refill (initialisation or restart injection)
@@ -278,6 +303,15 @@ class BorgEngine:
         )
         if self.on_restart is not None:
             self.on_restart(plan)
+        if self.publisher is not None:
+            self.publisher.emit(
+                "restart",
+                nfe=self.nfe,
+                restarts=self.restarts,
+                population_size=plan.new_population_size,
+                injections=plan.injections,
+                reason=plan.reason,
+            )
 
     def _selection_arrivals(self) -> Optional[Counter]:
         """Arrival counts for the selector update, or ``None`` when

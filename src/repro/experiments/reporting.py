@@ -48,6 +48,8 @@ def format_table(
 
 
 def _cell(value) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         if value != value:
             return "-"
@@ -88,7 +90,7 @@ def ascii_heatmap(
     lines = []
     if title:
         lines.append(title)
-    label_w = max(len(lbl) for lbl in row_labels)
+    label_w = max((len(lbl) for lbl in row_labels), default=0)
     for label, row in zip(row_labels, grid):
         glyphs = []
         for v in row:

@@ -244,6 +244,7 @@ def _serve_or_retire(
     max_nfe: int,
     quarter: int,
     faults: FaultStats,
+    publisher=None,
 ) -> None:
     """Serve like :func:`_serve_until`, but degrade gracefully when the
     island's whole worker pool dies: retire the island at the clock it
@@ -257,6 +258,10 @@ def _serve_or_retire(
         st.inflight.clear()
         st.heap.clear()
         faults.islands_retired += 1
+        if publisher is not None:
+            publisher.emit(
+                "island-retired", island=st.index, nfe=st.engine.nfe
+            )
 
 
 def _charge_exchange(st: _IslandState, epoch_time: float, migrants: int) -> None:
@@ -375,6 +380,7 @@ def run_sharded_islands(
     checkpoint_every: int = 1,
     resume: Optional[Union[str, os.PathLike]] = None,
     stop_after_epochs: Optional[int] = None,
+    publisher=None,
 ) -> ShardedRunResult:
     """Run M concurrently-supervised master-slave Borg islands on one
     virtual clock, with periodic archive migration.
@@ -389,6 +395,12 @@ def run_sharded_islands(
     halts after that many *further* migration epochs and returns a
     partial result (``completed=False``) -- the hook the checkpoint
     tests use to stop a run mid-flight.
+
+    ``publisher`` (a :class:`repro.telemetry.EventBus` or compatible)
+    receives one ``migration`` event per completed epoch and an
+    ``island-retired`` event when a shard's worker pool goes extinct.
+    Timestamps are wall clock -- the virtual simulation clock rides in
+    the event payload instead.
     """
     if islands < 1:
         raise ValueError("need at least one island")
@@ -503,14 +515,16 @@ def run_sharded_islands(
         for st in states:
             if not st.done:
                 _serve_or_retire(
-                    st, math.inf, max_nfe_per_island, quarter, faults
+                    st, math.inf, max_nfe_per_island, quarter, faults,
+                    publisher=publisher,
                 )
     else:
         while any(not st.done for st in states):
             for st in states:
                 if not st.done:
                     _serve_or_retire(
-                        st, next_epoch, max_nfe_per_island, quarter, faults
+                        st, next_epoch, max_nfe_per_island, quarter, faults,
+                        publisher=publisher,
                     )
             if all(st.done for st in states):
                 break
@@ -550,6 +564,14 @@ def run_sharded_islands(
             epoch_index += 1
             epochs_this_call += 1
             front_history.append((epoch_index, len(global_front)))
+            if publisher is not None:
+                publisher.emit(
+                    "migration",
+                    epoch=epoch_index,
+                    clock=next_epoch,
+                    delivered=len(outgoing),
+                    global_front=len(global_front),
+                )
             next_epoch += interval
 
             if checkpoint is not None and epoch_index % max(1, checkpoint_every) == 0:

@@ -158,6 +158,7 @@ def run_process_master_slave(
     checkpoint: Optional[str] = None,
     checkpoint_interval: Optional[int] = None,
     resume: Optional[str] = None,
+    publisher=None,
 ) -> ParallelRunResult:
     """Asynchronous master-slave Borg on ``processors - 1`` supervised
     worker processes.  Requires a picklable problem (all built-ins are).
@@ -190,6 +191,7 @@ def run_process_master_slave(
         cfg = engine.config
     else:
         engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
+    engine.publisher = publisher
     history = RunHistory(
         snapshot_interval=snapshot_interval or cfg.snapshot_interval
     )
@@ -241,6 +243,8 @@ def run_process_master_slave(
                 f"(last: {why}); giving up"
             )
         stats.tasks_redispatched += 1
+        if publisher is not None:
+            publisher.emit("redispatch", task=record.task_id, reason=why)
         assign(record)
 
     def flush_backlog() -> None:
@@ -261,6 +265,8 @@ def run_process_master_slave(
 
     def handle_worker_death(slot: _WorkerSlot, why: str, now: float) -> None:
         stats.failures_detected += 1
+        if publisher is not None:
+            publisher.emit("worker-fault", worker=slot.wid, reason=why)
         proc, task_queue = slot.proc, slot.queue
         slot.proc = None
         slot.queue = None
@@ -360,6 +366,10 @@ def run_process_master_slave(
                     continue
                 stats.results_quarantined += 1
                 record.wid = None
+                if publisher is not None:
+                    publisher.emit(
+                        "worker-fault", worker=wid, reason=str(reply[3])
+                    )
                 redispatch(record, f"worker error: {reply[3]}")
                 continue
             F, C = reply[3], reply[4]

@@ -45,6 +45,7 @@ def optimize(
     checkpoint: Optional[str] = None,
     checkpoint_interval: Optional[int] = None,
     resume: Optional[str] = None,
+    publisher=None,
     **kwargs,
 ) -> BorgResult | ParallelRunResult:
     """Run the Borg MOEA on the selected backend.
@@ -61,6 +62,13 @@ def optimize(
     continues the run toward ``max_nfe``.  ``supervisor`` tunes worker
     fault handling on the threads/processes backends.  Virtual-clock
     backends support none of these (they replay, not execute).
+
+    ``publisher`` attaches a telemetry event bus
+    (:class:`repro.telemetry.EventBus` or anything with its ``emit``
+    signature) to the run: the engine publishes epsilon-progress,
+    restart, and operator-update events, and the threads/processes
+    supervisors publish worker-fault/redispatch events.  Virtual-clock
+    backends do not publish (simulated time would mislabel events).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -72,6 +80,7 @@ def optimize(
             moea = BorgMOEA.from_checkpoint(problem, resume, config=config)
         else:
             moea = BorgMOEA(problem, config=config, seed=seed)
+        moea.engine.publisher = publisher
         return moea.run(
             max_nfe, checkpoint=checkpoint, checkpoint_interval=checkpoint_interval
         )
@@ -98,11 +107,13 @@ def optimize(
             problem, processors, max_nfe,
             config=config, seed=seed, sync=(backend == "threads-sync"),
             supervisor=supervisor, checkpoint=checkpoint,
-            checkpoint_interval=checkpoint_interval, resume=resume, **kwargs,
+            checkpoint_interval=checkpoint_interval, resume=resume,
+            publisher=publisher, **kwargs,
         )
 
     return run_process_master_slave(
         problem, processors, max_nfe, config=config, seed=seed,
         supervisor=supervisor, checkpoint=checkpoint,
-        checkpoint_interval=checkpoint_interval, resume=resume, **kwargs,
+        checkpoint_interval=checkpoint_interval, resume=resume,
+        publisher=publisher, **kwargs,
     )

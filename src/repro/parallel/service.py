@@ -144,18 +144,29 @@ class StorageBackedRunner:
         config: Optional[BorgConfig] = None,
         service: Optional[ServiceConfig] = None,
         worker_id: Optional[str] = None,
+        publisher=None,
     ) -> None:
         self.problem = problem
         self.study = study
         self.config = config
         self.service = service or ServiceConfig()
         self.worker_id = worker_id or f"w{os.getpid()}"
+        #: Optional telemetry publisher (duck-typed
+        #: :class:`repro.telemetry.EventBus`); also attached to the
+        #: engine on promotion.  Remote observers tail the journal
+        #: instead -- this is for in-process subscribers (tests, the
+        #: embedding application).
+        self.publisher = publisher
         self.engine: Optional[BorgEngine] = None
         self._ingested: set[int] = set()
         self._last_snapshot_nfe = 0
         self._last_snapshot_improvements = -1
         self._was_master = False
         self._storage_retries = 0
+
+    def _emit(self, kind: str, **data) -> None:
+        if self.publisher is not None:
+            self.publisher.emit(kind, study=self.study.name, **data)
 
     # -- storage-fault resilience -------------------------------------------
     def _robust(self, fn: Callable, *args, **kwargs):
@@ -195,6 +206,10 @@ class StorageBackedRunner:
             now=now,
         ):
             return False
+        if not self._was_master:
+            self._emit(
+                "master-lease", key=MASTER_LEASE, worker=self.worker_id
+            )
         self._was_master = True
         if self.engine is None:
             self._restore_engine(self.study.state)
@@ -221,6 +236,7 @@ class StorageBackedRunner:
             self._ingested = set()
             self._last_snapshot_nfe = 0
             self._last_snapshot_improvements = -1
+        self.engine.publisher = self.publisher
         self._catch_up_ingest()
 
     def _catch_up_ingest(self) -> int:
@@ -259,6 +275,12 @@ class StorageBackedRunner:
         )
         self._last_snapshot_nfe = engine.nfe
         self._last_snapshot_improvements = engine.archive.improvements
+        self._emit(
+            "snapshot",
+            nfe=engine.nfe,
+            restarts=engine.restarts,
+            archive_size=len(engine.archive),
+        )
 
     def _master_duties(self, max_nfe: int, now: float) -> bool:
         """Reclaim, ingest, top up, snapshot; returns True when the
@@ -275,8 +297,11 @@ class StorageBackedRunner:
         in_flight = counts[TRIAL_PENDING] + counts[TRIAL_RUNNING]
         while live < max_nfe and in_flight < self.service.lookahead:
             candidate = self.engine.next_candidate()
-            self._robust(
+            trial_id = self._robust(
                 study.enqueue, candidate.variables, operator=candidate.operator
+            )
+            self._emit(
+                "eval-enqueued", trial=trial_id, operator=candidate.operator
             )
             live += 1
             in_flight += 1
@@ -284,6 +309,7 @@ class StorageBackedRunner:
             self._maybe_snapshot(force=True)
             self._robust(study.finish)
             self._robust(study.release_lease, MASTER_LEASE, self.worker_id)
+            self._emit("study-finished", nfe=state.completed)
             return True
         return False
 
@@ -298,6 +324,7 @@ class StorageBackedRunner:
         if record is None:
             return False
         trial_id = record.trial_id
+        self._emit("eval-started", trial=trial_id, worker=self.worker_id)
         candidate = Solution(
             np.array(record.variables, copy=True), operator=record.operator
         )
@@ -311,6 +338,12 @@ class StorageBackedRunner:
                 f"{type(exc).__name__}: {exc}",
                 self.service.retry,
             )
+            self._emit(
+                "eval-failed",
+                trial=trial_id,
+                worker=self.worker_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return True
         constraints = (
             candidate.constraints if candidate.constraints.size else None
@@ -321,6 +354,12 @@ class StorageBackedRunner:
             self.worker_id,
             candidate.objectives,
             constraints,
+        )
+        self._emit(
+            "eval-finished",
+            trial=trial_id,
+            worker=self.worker_id,
+            objectives=[float(x) for x in candidate.objectives],
         )
         return True
 
@@ -417,6 +456,7 @@ def run_study_worker(
     service: Optional[ServiceConfig] = None,
     worker_id: Optional[str] = None,
     max_seconds: Optional[float] = None,
+    publisher=None,
 ) -> ServiceResult:
     """Attach one worker process to a study by storage path.
 
@@ -443,5 +483,6 @@ def run_study_worker(
         config=config,
         service=service,
         worker_id=worker_id,
+        publisher=publisher,
     )
     return runner.run(max_seconds=max_seconds)

@@ -65,6 +65,7 @@ def run_threaded_master_slave(
     checkpoint: Optional[str] = None,
     checkpoint_interval: Optional[int] = None,
     resume: Optional[str] = None,
+    publisher=None,
 ) -> ParallelRunResult:
     """Asynchronous (or generational, with ``sync=True``) master-slave
     Borg on ``processors - 1`` worker threads.
@@ -98,6 +99,7 @@ def run_threaded_master_slave(
         cfg = engine.config
     else:
         engine = BorgEngine(problem, cfg, rng=np.random.default_rng(seed))
+    engine.publisher = publisher
     history = RunHistory(
         snapshot_interval=snapshot_interval or cfg.snapshot_interval
     )
@@ -192,6 +194,8 @@ def run_threaded_master_slave(
                 f"(last: {why}); giving up"
             )
         stats.tasks_redispatched += 1
+        if publisher is not None:
+            publisher.emit("redispatch", task=record.task_id, reason=why)
         record.mark_dispatched(-1, sup.task_timeout)
         tasks.put(
             (record.task_id, np.stack([c.variables for c in record.group]))
@@ -208,6 +212,12 @@ def run_threaded_master_slave(
             # not moved since dispatch); threads cannot be killed, so
             # re-dispatch and let dedup drop any eventual late reply.
             stats.failures_detected += 1
+            if publisher is not None:
+                publisher.emit(
+                    "worker-fault",
+                    task=record.task_id,
+                    reason="task deadline exceeded",
+                )
             redispatch(record, "task deadline exceeded")
 
     def maybe_checkpoint(force: bool = False) -> None:
@@ -242,6 +252,10 @@ def run_threaded_master_slave(
             if kind == MSG_ERR:
                 stats.worker_errors += 1
                 stats.results_quarantined += 1
+                if publisher is not None:
+                    publisher.emit(
+                        "worker-fault", worker=wid, reason=str(reply[3])
+                    )
                 redispatch(record, f"worker error: {reply[3]}")
                 continue
             F, C = reply[3], reply[4]

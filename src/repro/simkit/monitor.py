@@ -71,10 +71,13 @@ class SeriesMonitor:
     ``t`` onward.  :meth:`time_average` integrates the step function.
 
     With ``record=False`` the per-event history is *not* stored: the
-    monitor keeps only the running integral and the latest sample, so
-    memory stays O(1) no matter how many events a large-P reference
-    simulation produces.  :meth:`time_average` and :attr:`last` are
-    unchanged; only the raw ``times``/``values`` trajectories are
+    monitor keeps only running aggregates -- the integral, the latest
+    sample, and the observed value extrema/moments (``last``,
+    ``minimum``, ``maximum``, ``mean``, ``variance``) -- so memory
+    stays O(1) no matter how many events a large-P reference
+    simulation (or a long-lived telemetry gauge) produces.
+    :meth:`time_average` and every running statistic are identical in
+    both modes; only the raw ``times``/``values`` trajectories are
     unavailable (they stay empty).
     """
 
@@ -87,6 +90,10 @@ class SeriesMonitor:
         self._last_time: Optional[float] = None
         self._last_value = 0.0
         self._integral = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
 
     def record(self, time: float, value: float) -> None:
         if self._last_time is not None and time < self._last_time:
@@ -103,6 +110,16 @@ class SeriesMonitor:
         self._last_time = time
         self._last_value = value
         self.count += 1
+        # Running per-sample (not time-weighted) moments, Welford's
+        # algorithm -- what lets a record=False telemetry gauge report
+        # min/max/mean/variance without retaining the trajectory.
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
 
     def time_average(self, until: Optional[float] = None) -> float:
         """Time-weighted mean of the series on ``[t0, until]``."""
@@ -138,6 +155,23 @@ class SeriesMonitor:
     @property
     def last(self) -> float:
         return self._last_value if self._last_time is not None else 0.0
+
+    @property
+    def mean(self) -> float:
+        """Per-sample mean of the recorded values (unweighted; use
+        :meth:`time_average` for the time-weighted one)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Per-sample variance of the recorded values (ddof=1)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
 
 
 class SpanTracker:

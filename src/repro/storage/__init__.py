@@ -31,6 +31,7 @@ from .study import (
     StudyError,
     StudyState,
     TrialRecord,
+    apply_op,
     list_studies,
 )
 
@@ -51,6 +52,7 @@ __all__ = [
     "TRIAL_RUNNING",
     "TRIAL_COMPLETE",
     "TRIAL_FAILED",
+    "apply_op",
     "list_studies",
     "open_storage",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "TRIAL_RUNNING",
     "TRIAL_COMPLETE",
     "TRIAL_FAILED",
+    "apply_op",
     "list_studies",
 ]
 
@@ -200,6 +201,12 @@ def _apply(state: StudyState, seq: int, op: dict) -> None:
         state.snapshot_seq = seq
     elif kind == "finish":
         state.finished = True
+
+
+#: Public name of the fold step, for external log consumers (the
+#: telemetry tailer folds ops through exactly this function so its view
+#: of a study is bit-identical to a worker's, by construction).
+apply_op = _apply
 
 
 class Study:

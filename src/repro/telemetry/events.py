@@ -1,0 +1,279 @@
+"""Typed run-event schema and the in-process event bus.
+
+Every observable thing a run does is one :class:`Event`: a ``kind``
+from the closed vocabulary below, a wall-clock timestamp, the study it
+belongs to (when one exists), the storage sequence number it was
+derived from (when it came out of a journal), and a payload of plain
+JSON-serializable data.
+
+Two producers publish into the same vocabulary:
+
+* **in-process hooks** -- :class:`~repro.core.borg.BorgEngine` and the
+  runner layers call :meth:`EventBus.emit` directly (epsilon-progress,
+  restarts, operator updates, worker faults as they happen);
+* **the journal tailer** -- :class:`~repro.telemetry.tail.JournalTailer`
+  folds a durable op log into events after the fact, so a cold journal
+  and a live run are observed through one interface.
+
+Publishing is deliberately *optional and cheap*: producers hold
+``publisher = None`` by default and guard every emission site with an
+``is not None`` check, so a run nobody is watching pays one attribute
+test per would-be event and allocates nothing.
+
+The bus itself is a tiny fan-out: callback subscribers are invoked
+inline (exceptions are swallowed and counted -- observability must
+never kill a run), and queue subscribers (:class:`Subscription`) get a
+bounded drop-oldest buffer suitable for feeding a slow SSE client
+without back-pressuring the master loop.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = ["EVENT_KINDS", "Event", "EventBus", "Subscription"]
+
+# -- the event vocabulary ----------------------------------------------------
+#: One trial was enqueued for evaluation (``trial``, ``operator``).
+EVAL_ENQUEUED = "eval-enqueued"
+#: A worker claimed a trial under a lease (``trial``, ``worker``).
+EVAL_STARTED = "eval-started"
+#: A trial completed and was told back (``trial``, ``worker``, ``nfe``).
+EVAL_FINISHED = "eval-finished"
+#: An evaluation attempt raised (``trial``, ``worker``, ``error``).
+EVAL_FAILED = "eval-failed"
+#: A solution entered the epsilon-box archive (``nfe``, ``operator``).
+ARCHIVE_INSERT = "archive-insert"
+#: The archive improved in the epsilon-progress sense (``nfe``,
+#: ``improvements``).
+EPSILON_PROGRESS = "epsilon-progress"
+#: The engine executed a restart (``nfe``, ``restarts``,
+#: ``population_size``, ``injections``).
+RESTART = "restart"
+#: The adaptive operator probabilities changed (``probabilities``).
+OPERATOR_UPDATE = "operator-update"
+#: A worker was observed faulty: died, hung, or raised
+#: (``worker``, ``reason``).
+WORKER_FAULT = "worker-fault"
+#: A lost/expired task was re-dispatched (``trial``/``task``,
+#: ``reason``).
+REDISPATCH = "redispatch"
+#: A trial exhausted its retry budget (``trial``, ``reason``).
+DEAD_LETTER = "dead-letter"
+#: A late duplicate ``tell`` was suppressed (``trial``, ``worker``).
+DUPLICATE_TELL = "duplicate-tell"
+#: An evaluation lease was claimed (``trial``, ``worker``,
+#: ``attempts``).
+LEASE_CLAIM = "lease-claim"
+#: An expired lease was reclaimed by the master (``trial``,
+#: ``worker``).
+LEASE_RECLAIM = "lease-reclaim"
+#: The named master lease changed hands (``worker`` or None on
+#: release).
+MASTER_LEASE = "master-lease"
+#: The master persisted an engine snapshot (``nfe``, ``restarts``,
+#: ``archive_size``).
+SNAPSHOT = "snapshot"
+#: A study was created (``meta``).
+STUDY_CREATED = "study-created"
+#: A study reached its budget and was marked finished.
+STUDY_FINISHED = "study-finished"
+#: An island run milestone (``island``, ``epoch``, ...).
+MIGRATION = "migration"
+#: An island was retired early (its worker pool died).
+ISLAND_RETIRED = "island-retired"
+
+#: The closed vocabulary, for validation and documentation.
+EVENT_KINDS = frozenset(
+    (
+        EVAL_ENQUEUED,
+        EVAL_STARTED,
+        EVAL_FINISHED,
+        EVAL_FAILED,
+        ARCHIVE_INSERT,
+        EPSILON_PROGRESS,
+        RESTART,
+        OPERATOR_UPDATE,
+        WORKER_FAULT,
+        REDISPATCH,
+        DEAD_LETTER,
+        DUPLICATE_TELL,
+        LEASE_CLAIM,
+        LEASE_RECLAIM,
+        MASTER_LEASE,
+        SNAPSHOT,
+        STUDY_CREATED,
+        STUDY_FINISHED,
+        MIGRATION,
+        ISLAND_RETIRED,
+    )
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observable run occurrence (see module docstring)."""
+
+    #: Event kind, one of :data:`EVENT_KINDS`.
+    kind: str
+    #: Wall-clock emission (or observation) time, ``time.time()``.
+    time: float
+    #: Study the event belongs to, when it has one.
+    study: Optional[str] = None
+    #: Storage sequence the event was derived from (journal-tailed
+    #: events only; in-process events have no log position).
+    seq: Optional[int] = None
+    #: Kind-specific payload; values must be JSON-serializable.
+    data: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (what the SSE endpoint serializes)."""
+        out = {"kind": self.kind, "time": self.time}
+        if self.study is not None:
+            out["study"] = self.study
+        if self.seq is not None:
+            out["seq"] = self.seq
+        if self.data:
+            out["data"] = self.data
+        return out
+
+
+class Subscription:
+    """A bounded, drop-oldest queue of events for one slow consumer.
+
+    Iterating a subscription blocks until the next event (or
+    ``timeout``); the producing bus never blocks -- when the buffer is
+    full the *oldest* event is dropped and counted, so a stalled SSE
+    client can throttle only itself, never the master loop.
+    """
+
+    def __init__(self, bus: "EventBus", maxsize: int = 1024) -> None:
+        self._bus = bus
+        self._queue: "queue.Queue[Event]" = queue.Queue(maxsize=maxsize)
+        # Bound once: unsubscribe matches callbacks by identity, and
+        # each attribute access creates a fresh bound method object.
+        self._callback = self._offer
+        #: Events discarded because this consumer fell behind.
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, event: Event) -> None:
+        while True:
+            try:
+                self._queue.put_nowait(event)
+                return
+            except queue.Full:
+                try:
+                    self._queue.get_nowait()
+                    self.dropped += 1
+                except queue.Empty:  # pragma: no cover - race window
+                    pass
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """Next event, or None on timeout / after :meth:`close`."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain(self) -> list[Event]:
+        """Every event currently buffered, without blocking."""
+        out: list[Event] = []
+        while True:
+            try:
+                out.append(self._queue.get_nowait())
+            except queue.Empty:
+                return out
+
+    def close(self) -> None:
+        self.closed = True
+        self._bus.unsubscribe(self._callback)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[Event]:
+        while not self.closed:
+            event = self.get(timeout=0.1)
+            if event is not None:
+                yield event
+
+
+class EventBus:
+    """Thread-safe in-process fan-out of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscribers: tuple[Callable[[Event], None], ...] = ()
+        #: Total events published.
+        self.published = 0
+        #: Subscriber callbacks that raised (swallowed; see module doc).
+        self.callback_errors = 0
+
+    # -- subscription --------------------------------------------------------
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Register ``callback`` to be invoked inline on every event."""
+        with self._lock:
+            self._subscribers = self._subscribers + (callback,)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        with self._lock:
+            self._subscribers = tuple(
+                fn for fn in self._subscribers if fn is not callback
+            )
+
+    def stream(self, maxsize: int = 1024) -> Subscription:
+        """A bounded drop-oldest queue subscription (see
+        :class:`Subscription`)."""
+        sub = Subscription(self, maxsize=maxsize)
+        self.subscribe(sub._callback)
+        return sub
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    # -- publication ---------------------------------------------------------
+    def publish(self, event: Event) -> None:
+        # Snapshot under the lock, call outside it: a slow subscriber
+        # must not serialize other publishers, and a subscriber may
+        # (un)subscribe from inside its own callback.
+        subscribers = self._subscribers
+        self.published += 1
+        for fn in subscribers:
+            try:
+                fn(event)
+            except Exception:  # noqa: BLE001 - observability never kills a run
+                self.callback_errors += 1
+
+    def emit(
+        self,
+        kind: str,
+        study: Optional[str] = None,
+        seq: Optional[int] = None,
+        time: Optional[float] = None,
+        **data,
+    ) -> Event:
+        """Build and publish one event; returns it (mostly for tests).
+
+        ``kind`` must come from :data:`EVENT_KINDS` -- a closed schema
+        keeps every consumer (metrics, SSE clients, reports) total over
+        the event stream.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = Event(
+            kind=kind,
+            time=_time.time() if time is None else time,
+            study=study,
+            seq=seq,
+            data=data,
+        )
+        self.publish(event)
+        return event

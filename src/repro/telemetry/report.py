@@ -1,0 +1,136 @@
+"""Static post-hoc reports from a study journal.
+
+``repro serve --report`` (or :func:`generate_report` directly) folds a
+finished -- or merely paused -- study's op log through the same
+:class:`~repro.telemetry.tail.JournalTailer` +
+:class:`~repro.telemetry.metrics.MetricsRegistry` pair the live
+dashboard uses, then renders:
+
+* an **HTML report**: the dashboard page itself with the metrics
+  snapshot and recent events inlined as ``window.__REPRO_STATIC__``
+  (no server, no JS fetches -- one file you can mail around);
+* a **CSV** of the counters/gauges via
+  :func:`repro.experiments.reporting.write_csv`;
+* an ASCII **summary table** (:func:`repro.experiments.reporting.
+  format_table`) returned for terminal printing.
+
+Replay == live view by construction: both paths fold the identical op
+sequence through :func:`repro.storage.apply_op`, so a report generated
+tomorrow shows the same counters a dashboard showed during the run
+(timestamps excepted -- cold replay has no wall clock; see
+docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..experiments.reporting import format_table, write_csv
+from ..storage import StorageBackend, list_studies
+from .metrics import MetricsRegistry
+from .server import DASHBOARD_HTML
+from .tail import JournalTailer
+
+__all__ = ["generate_report", "summary_rows"]
+
+#: Cap on events inlined into the static HTML (newest win).
+_MAX_EVENTS = 200
+
+#: Target trajectory samples per report (each costs one hypervolume
+#: evaluation of the running front during the fold).
+_TRAJECTORY_SAMPLES = 256
+
+
+def summary_rows(snapshot: dict) -> tuple[list[str], list[list]]:
+    """Flatten a metrics snapshot into (header, rows) for tabulation."""
+    rows: list[list] = [
+        ["nfe", snapshot["nfe"]],
+        ["finished", snapshot["finished"]],
+        ["archive_size", snapshot["archive_size"]],
+        ["hypervolume", round(snapshot["hypervolume"], 6)],
+        ["front_size", snapshot["front_size"]],
+        ["epsilon_progress_rate", round(snapshot["epsilon_progress_rate"], 4)],
+        ["latency_mean_s", round(snapshot["latency"]["mean"], 6)],
+        ["latency_p50_s", round(snapshot["latency"]["p50"], 6)],
+        ["latency_p99_s", round(snapshot["latency"]["p99"], 6)],
+    ]
+    for name, value in sorted(snapshot["counters"].items()):
+        rows.append([name, value])
+    for name, prob in sorted(snapshot["operator_probabilities"].items()):
+        rows.append([f"p({name})", round(prob, 4)])
+    return ["metric", "value"], rows
+
+
+def generate_report(
+    storage: StorageBackend,
+    study: Optional[str] = None,
+    html_path: Optional[str] = None,
+    csv_path: Optional[str] = None,
+) -> dict:
+    """Fold ``study``'s full op log and write the requested artifacts.
+
+    Returns the metrics snapshot (plus ``study``/``counts`` keys, the
+    same shape ``/api/metrics`` serves) so callers can print a summary
+    without re-reading anything.
+    """
+    names = list_studies(storage)
+    if study is None:
+        if not names:
+            raise ValueError("storage holds no studies")
+        study = names[0]
+    elif study not in names:
+        raise ValueError(
+            f"study {study!r} not found (have: {', '.join(names) or 'none'})"
+        )
+    tailer = JournalTailer(storage, study=study)
+    # Light MC budget: the trajectory costs one hypervolume estimate
+    # per sample, and a progress chart tolerates ~2% noise.
+    registry = MetricsRegistry(trajectory_points=4096, hv_samples=2048)
+    all_events = tailer.poll()
+    # Snapshot at a fixed NFE stride during the fold so the report's
+    # hypervolume-over-NFE trajectory has real resolution (a live
+    # dashboard gets this for free from its polling cadence).
+    completions = sum(1 for e in all_events if e.kind == "eval-finished")
+    stride = max(1, completions // _TRAJECTORY_SAMPLES)
+    events = []
+    seen = 0
+    for event in all_events:
+        registry.observe(event)
+        events.append(event.as_dict())
+        if event.kind == "eval-finished":
+            seen += 1
+            if seen % stride == 0:
+                registry.snapshot(now=event.time)
+    state = tailer.state(study)
+    snapshot = registry.snapshot()
+    snapshot["study"] = study
+    snapshot["counts"] = state.counts()
+    snapshot["meta"] = {
+        k: v
+        for k, v in state.meta.items()
+        if isinstance(v, (str, int, float, bool)) or v is None
+    }
+    if csv_path is not None:
+        header, rows = summary_rows(snapshot)
+        write_csv(csv_path, header, rows)
+    if html_path is not None:
+        payload = {
+            "studies": [{"name": n} for n in names],
+            "metrics": snapshot,
+            "events": events[-_MAX_EVENTS:],
+        }
+        # ``</`` must not appear inside an inline <script> block.
+        blob = json.dumps(payload).replace("</", "<\\/")
+        inject = f"<script>window.__REPRO_STATIC__ = {blob};</script>\n"
+        marker = '<script>\n"use strict";'
+        html = DASHBOARD_HTML.replace(marker, inject + marker, 1)
+        with open(html_path, "w", encoding="utf-8") as fh:
+            fh.write(html)
+    return snapshot
+
+
+def render_summary(snapshot: dict) -> str:
+    """ASCII table for the terminal (thin wrapper, import-cheap)."""
+    header, rows = summary_rows(snapshot)
+    return format_table(header, rows)

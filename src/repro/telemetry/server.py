@@ -1,0 +1,656 @@
+"""``repro serve``: stdlib-only HTTP dashboard over durable studies.
+
+Zero third-party dependencies: :mod:`http.server` threads, hand-rolled
+Server-Sent-Events, and a single-file HTML dashboard.  Endpoints:
+
+* ``GET /``                  -- the dashboard (self-contained HTML/JS);
+* ``GET /api/studies``       -- every study in the storage, with counts;
+* ``GET /api/metrics?study=``-- a :class:`MetricsRegistry` snapshot;
+* ``GET /api/stream?study=`` -- SSE event stream (``id:`` carries the
+  storage sequence number, so a reconnecting client resumes from
+  ``from_seq`` = last id + 1 without replaying);
+* ``GET /healthz``           -- liveness probe (CI smoke).
+
+Each SSE connection runs its *own* :class:`JournalTailer` over its own
+storage handle, so N dashboard clients are N independent readers of
+the op log -- no shared cursor, no coordination with writers, and a
+slow client throttles nobody (readers never lock; see
+:mod:`repro.telemetry.tail`).  REST endpoints share one cached
+tailer+registry per study behind a lock, so repeated metric polls cost
+one incremental ``read(from_seq)`` each, not a journal rescan.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..storage import StorageBackend, list_studies, open_storage
+from .metrics import MetricsRegistry
+from .tail import JournalTailer
+
+__all__ = ["DashboardApp", "build_server", "serve", "DASHBOARD_HTML"]
+
+
+class StudyView:
+    """One study's cached tailer + metrics, shared by REST requests."""
+
+    def __init__(self, storage: StorageBackend, name: str) -> None:
+        self.name = name
+        self.tailer = JournalTailer(storage, study=name)
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+
+    def refresh(self) -> None:
+        with self._lock:
+            for event in self.tailer.poll():
+                self.registry.observe(event)
+
+    def metrics(self) -> dict:
+        self.refresh()
+        with self._lock:
+            snapshot = self.registry.snapshot()
+        state = self.tailer.state(self.name)
+        snapshot["study"] = self.name
+        snapshot["counts"] = state.counts()
+        snapshot["meta"] = {
+            k: v
+            for k, v in state.meta.items()
+            if isinstance(v, (str, int, float, bool)) or v is None
+        }
+        return snapshot
+
+
+class DashboardApp:
+    """Shared state behind the HTTP handler (storage + per-study views)."""
+
+    def __init__(
+        self, storage_spec: str, poll_interval: float = 0.25
+    ) -> None:
+        self.storage_spec = storage_spec
+        self.poll_interval = poll_interval
+        self.storage = open_storage(storage_spec)
+        self._views: dict[str, StudyView] = {}
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        self.storage.close()
+
+    def view(self, name: str) -> StudyView:
+        with self._lock:
+            view = self._views.get(name)
+            if view is None:
+                view = self._views[name] = StudyView(self.storage, name)
+            return view
+
+    def reader(self) -> StorageBackend:
+        """A dedicated storage handle for one SSE connection.  The
+        in-memory backend cannot be reopened by path, so it is shared
+        (its reads are append-race-safe within one process)."""
+        if self.storage_spec == "memory://":
+            return self.storage
+        return open_storage(self.storage_spec)
+
+    def studies(self) -> list[dict]:
+        with self._lock:
+            names = list_studies(self.storage)
+        out = []
+        for name in names:
+            view = self.view(name)
+            view.refresh()
+            state = view.tailer.state(name)
+            out.append(
+                {
+                    "name": name,
+                    "counts": state.counts(),
+                    "completed": state.completed,
+                    "failed": state.failed,
+                    "finished": state.finished,
+                    "max_nfe": state.meta.get("max_nfe"),
+                    "problem": state.meta.get("problem"),
+                }
+            )
+        return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "DashboardServer"
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib name
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(fmt, *args)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, html: str) -> None:
+        body = html.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routing -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        url = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            if url.path in ("/", "/index.html"):
+                self._send_html(DASHBOARD_HTML)
+            elif url.path == "/healthz":
+                self._send_json({"ok": True})
+            elif url.path == "/api/studies":
+                self._send_json({"studies": self.server.app.studies()})
+            elif url.path == "/api/metrics":
+                name = query.get("study")
+                if not name:
+                    names = list_studies(self.server.app.storage)
+                    if not names:
+                        self._send_json({"error": "no studies"}, 404)
+                        return
+                    name = names[0]
+                self._send_json(self.server.app.view(name).metrics())
+            elif url.path == "/api/stream":
+                self._stream(query)
+            else:
+                self._send_json({"error": "not found"}, 404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+    # -- SSE -----------------------------------------------------------------
+    def _stream(self, query: dict) -> None:
+        study = query.get("study") or None
+        try:
+            from_seq = int(
+                query.get("from_seq")
+                or int(self.headers.get("Last-Event-ID", -1)) + 1
+                or 0
+            )
+        except (TypeError, ValueError):
+            from_seq = 0
+        max_seconds = float(query.get("max_seconds", 0)) or None
+        app = self.server.app
+        storage = app.reader()
+        own_storage = storage is not app.storage
+        tailer = JournalTailer(storage, study=study, from_seq=max(0, from_seq))
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        started = time.monotonic()
+        last_write = started
+        try:
+            while True:
+                events = tailer.poll()
+                for event in events:
+                    frame = (
+                        f"id: {event.seq}\n"
+                        f"event: {event.kind}\n"
+                        f"data: {json.dumps(event.as_dict())}\n\n"
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                if events:
+                    self.wfile.flush()
+                    last_write = time.monotonic()
+                now = time.monotonic()
+                if study is not None and tailer.state(study).finished:
+                    self.wfile.write(b": study finished\n\n")
+                    self.wfile.flush()
+                    break
+                if max_seconds is not None and now - started >= max_seconds:
+                    break
+                if now - last_write > 10.0:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    last_write = now
+                time.sleep(app.poll_interval)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client disconnected mid-stream
+        finally:
+            if own_storage:
+                storage.close()
+            self.close_connection = True
+
+
+class DashboardServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address, app: DashboardApp, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.app = app
+        self.verbose = verbose
+
+    def server_close(self) -> None:  # pragma: no cover - trivial
+        super().server_close()
+        self.app.close()
+
+
+def build_server(
+    storage_spec: str,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    poll_interval: float = 0.25,
+    verbose: bool = False,
+) -> DashboardServer:
+    """Construct (but do not start) the dashboard server; ``port=0``
+    binds an ephemeral port (tests read ``server.server_address``)."""
+    app = DashboardApp(storage_spec, poll_interval=poll_interval)
+    return DashboardServer((host, port), app, verbose=verbose)
+
+
+def serve(
+    storage_spec: str,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    poll_interval: float = 0.25,
+    verbose: bool = False,
+) -> None:
+    """Run the dashboard server until interrupted (the CLI entry)."""
+    server = build_server(
+        storage_spec, host, port,
+        poll_interval=poll_interval, verbose=verbose,
+    )
+    bound = server.server_address
+    print(f"repro serve: http://{bound[0]}:{bound[1]}/  "
+          f"(storage {storage_spec})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# The dashboard: one self-contained HTML file, stdlib-served.  Palette
+# and mark conventions follow the repo's data-viz method: role-based
+# CSS variables with selected light/dark steps, single-series line
+# charts (one axis each), fixed-slot categorical colors for operator
+# identity, status colors only for fault states (always beside text).
+# ---------------------------------------------------------------------------
+
+DASHBOARD_HTML = r"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro · live run dashboard</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --ink-1: #0b0b0b; --ink-2: #52514e; --ink-muted: #898781;
+    --grid: #e1e0d9; --axis: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a; --s4: #eda100;
+    --s5: #e87ba4; --s6: #008300; --s7: #4a3aa7; --s8: #e34948;
+    --good: #0ca30c; --warning: #fab219; --serious: #ec835a;
+    --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-muted: #898781;
+      --grid: #2c2c2a; --axis: #383835;
+      --border: rgba(255,255,255,0.10);
+      --s1: #3987e5; --s2: #d95926; --s3: #199e70; --s4: #c98500;
+      --s5: #d55181; --s6: #008300; --s7: #9085e9; --s8: #e66767;
+    }
+  }
+  * { box-sizing: border-box; }
+  body.viz-root {
+    margin: 0; background: var(--page); color: var(--ink-1);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header {
+    display: flex; align-items: baseline; gap: 12px;
+    padding: 14px 20px 10px;
+  }
+  header h1 { font-size: 16px; margin: 0; font-weight: 650; }
+  header .sub { color: var(--ink-2); font-size: 12px; }
+  header select {
+    margin-left: auto; font: inherit; color: var(--ink-1);
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 4px 8px;
+  }
+  #conn { font-size: 12px; color: var(--ink-muted); }
+  main { padding: 0 20px 24px; max-width: 1180px; margin: 0 auto; }
+  .tiles {
+    display: grid; gap: 10px;
+    grid-template-columns: repeat(auto-fit, minmax(140px, 1fr));
+    margin-bottom: 12px;
+  }
+  .tile {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 10px; padding: 10px 12px;
+  }
+  .tile .k { font-size: 11px; color: var(--ink-2); letter-spacing: .02em; }
+  .tile .v { font-size: 22px; font-weight: 650; margin-top: 2px; }
+  .tile .d { font-size: 11px; color: var(--ink-muted); }
+  .cards {
+    display: grid; gap: 12px;
+    grid-template-columns: repeat(auto-fit, minmax(320px, 1fr));
+  }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 10px; padding: 12px 14px; min-width: 0;
+  }
+  .card h2 {
+    margin: 0 0 8px; font-size: 12px; font-weight: 650;
+    color: var(--ink-2); text-transform: uppercase; letter-spacing: .05em;
+  }
+  svg text { fill: var(--ink-muted); font-size: 10px;
+             font-family: inherit; font-variant-numeric: tabular-nums; }
+  .opsrow { display: flex; align-items: center; gap: 8px;
+            margin: 5px 0; font-size: 12px; }
+  .opsrow .name { width: 92px; color: var(--ink-2);
+                  overflow: hidden; text-overflow: ellipsis; }
+  .opsrow .bar-track { flex: 1; height: 12px; }
+  .opsrow .bar { height: 12px; border-radius: 0 4px 4px 0; }
+  .opsrow .val { width: 48px; text-align: right; color: var(--ink-1);
+                 font-variant-numeric: tabular-nums; }
+  table.counters { width: 100%; border-collapse: collapse; font-size: 12px; }
+  table.counters td { padding: 3px 4px; border-top: 1px solid var(--grid); }
+  table.counters td:last-child { text-align: right;
+                                 font-variant-numeric: tabular-nums; }
+  table.counters tr:first-child td { border-top: 0; }
+  #log { list-style: none; margin: 0; padding: 0; font-size: 12px;
+         max-height: 300px; overflow-y: auto; }
+  #log li { display: flex; gap: 8px; padding: 3px 0;
+            border-top: 1px solid var(--grid); align-items: baseline; }
+  #log li:first-child { border-top: 0; }
+  #log .t { color: var(--ink-muted); font-variant-numeric: tabular-nums;
+            flex: 0 0 64px; }
+  #log .kind { flex: 0 0 128px; font-weight: 600; }
+  #log .detail { color: var(--ink-2); overflow: hidden;
+                 text-overflow: ellipsis; white-space: nowrap; }
+  .dot { display: inline-block; width: 8px; height: 8px;
+         border-radius: 50%; margin-right: 5px; vertical-align: baseline; }
+  .tooltip {
+    position: fixed; pointer-events: none; z-index: 10; display: none;
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 5px 8px; font-size: 11px;
+    color: var(--ink-1); box-shadow: 0 2px 8px rgba(0,0,0,.12);
+  }
+  .empty { color: var(--ink-muted); font-size: 12px; padding: 14px 0; }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>repro run dashboard</h1>
+  <span class="sub">asynchronous master–slave Borg · journal telemetry</span>
+  <span id="conn">connecting…</span>
+  <select id="study" aria-label="study"></select>
+</header>
+<main>
+  <div class="tiles" id="tiles"></div>
+  <div class="cards">
+    <div class="card"><h2 id="nfe-title">NFE over time</h2>
+      <div id="chart-nfe"></div></div>
+    <div class="card"><h2>Hypervolume over NFE</h2>
+      <div id="chart-hv"></div></div>
+    <div class="card"><h2>Operator probabilities</h2>
+      <div id="ops"><div class="empty">no operator updates yet</div></div>
+    </div>
+    <div class="card"><h2>Counters</h2>
+      <table class="counters" id="counters"></table></div>
+    <div class="card" style="grid-column: 1 / -1"><h2>Event stream</h2>
+      <ul id="log"><li class="empty">waiting for events…</li></ul></div>
+  </div>
+</main>
+<div class="tooltip" id="tooltip"></div>
+<script>
+"use strict";
+const STATIC = window.__REPRO_STATIC__ || null;
+const $ = (id) => document.getElementById(id);
+const SERIES = ["--s1","--s2","--s3","--s4","--s5","--s6","--s7","--s8"];
+const FAULT_STATUS = {
+  "worker-fault": "--serious", "eval-failed": "--serious",
+  "lease-reclaim": "--warning", "dead-letter": "--critical",
+  "redispatch": "--warning", "duplicate-tell": "--warning",
+  "island-retired": "--critical",
+};
+const GOOD = { "epsilon-progress": "--good", "eval-finished": "--s1",
+  "study-finished": "--good", "restart": "--s7", "snapshot": "--s3",
+  "operator-update": "--s4" };
+let currentStudy = null, es = null, opOrder = [];
+
+function cssVar(name) {
+  return getComputedStyle(document.body).getPropertyValue(name).trim();
+}
+function fmt(x, digits) {
+  if (x === null || x === undefined || Number.isNaN(x)) return "–";
+  if (typeof x !== "number") return String(x);
+  if (Number.isInteger(x) && Math.abs(x) < 1e6) return x.toLocaleString();
+  if (Math.abs(x) >= 1000) return x.toLocaleString(undefined,
+    {maximumFractionDigits: 0});
+  return x.toPrecision(digits || 3);
+}
+function tile(key, value, detail) {
+  return `<div class="tile"><div class="k">${key}</div>` +
+    `<div class="v">${value}</div><div class="d">${detail || ""}</div></div>`;
+}
+
+// -- single-series line chart (one axis; hover crosshair + tooltip) --------
+function lineChart(el, points, opts) {
+  const W = Math.max(el.clientWidth || 320, 280), H = 180;
+  const m = {l: 46, r: 10, t: 8, b: 20};
+  if (!points || points.length < 2) {
+    el.innerHTML = '<div class="empty">not enough samples yet</div>'; return;
+  }
+  const xs = points.map(p => p[0]), ys = points.map(p => p[1]);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs);
+  if (x1 <= x0) {  // cold replay: no wall-clock span to plot against
+    el.innerHTML = '<div class="empty">no x-axis span in a replay</div>';
+    return;
+  }
+  const y0 = 0, y1 = Math.max(...ys) * 1.05 || 1;
+  const X = t => m.l + (W - m.l - m.r) * (x1 > x0 ? (t - x0) / (x1 - x0) : 0);
+  const Y = v => H - m.b - (H - m.t - m.b) * (v - y0) / (y1 - y0);
+  let d = "";
+  points.forEach((p, i) => { d += (i ? "L" : "M") + X(p[0]).toFixed(1)
+    + " " + Y(p[1]).toFixed(1); });
+  const ticks = 3, grid = [], labels = [];
+  for (let i = 0; i <= ticks; i++) {
+    const v = y0 + (y1 - y0) * i / ticks, y = Y(v);
+    grid.push(`<line x1="${m.l}" x2="${W - m.r}" y1="${y}" y2="${y}"
+      stroke="${cssVar('--grid')}" stroke-width="1"/>`);
+    labels.push(`<text x="${m.l - 6}" y="${y + 3}"
+      text-anchor="end">${fmt(v, 3)}</text>`);
+  }
+  const tl = opts.xNumeric
+    ? (x => fmt(x))
+    : (x => new Date(x * 1000).toTimeString().slice(0, 8));
+  const last = points[points.length - 1];
+  el.innerHTML = `<svg viewBox="0 0 ${W} ${H}" width="100%" height="${H}"
+      role="img" aria-label="${opts.label}">
+    ${grid.join("")}
+    <line x1="${m.l}" x2="${W - m.r}" y1="${H - m.b}" y2="${H - m.b}"
+      stroke="${cssVar('--axis')}" stroke-width="1"/>
+    ${labels.join("")}
+    <text x="${m.l}" y="${H - 6}">${tl(x0)}</text>
+    <text x="${W - m.r}" y="${H - 6}" text-anchor="end">${tl(x1)}</text>
+    <path d="${d}" fill="none" stroke="${cssVar(opts.color)}"
+      stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>
+    <circle cx="${X(last[0])}" cy="${Y(last[1])}" r="3.5"
+      fill="${cssVar(opts.color)}" stroke="${cssVar('--surface-1')}"
+      stroke-width="2"/>
+    <line id="xh" y1="${m.t}" y2="${H - m.b}" stroke="${cssVar('--axis')}"
+      stroke-width="1" visibility="hidden"/>
+  </svg>`;
+  const svg = el.querySelector("svg"), xh = el.querySelector("#xh");
+  const tip = $("tooltip");
+  svg.addEventListener("mousemove", (evt) => {
+    const box = svg.getBoundingClientRect();
+    const px = (evt.clientX - box.left) * (W / box.width);
+    let best = 0, dist = Infinity;
+    points.forEach((p, i) => { const dd = Math.abs(X(p[0]) - px);
+      if (dd < dist) { dist = dd; best = i; } });
+    const p = points[best];
+    xh.setAttribute("x1", X(p[0])); xh.setAttribute("x2", X(p[0]));
+    xh.setAttribute("visibility", "visible");
+    tip.style.display = "block";
+    tip.style.left = (evt.clientX + 12) + "px";
+    tip.style.top = (evt.clientY - 10) + "px";
+    tip.innerHTML = `${tl(p[0])} ·
+      <b>${fmt(p[1], 4)}</b> ${opts.unit || ""}`;
+  });
+  svg.addEventListener("mouseleave", () => {
+    xh.setAttribute("visibility", "hidden");
+    $("tooltip").style.display = "none";
+  });
+}
+
+function renderOps(probs) {
+  const names = Object.keys(probs);
+  if (!names.length) return;
+  names.forEach(n => { if (!opOrder.includes(n)) opOrder.push(n); });
+  const rows = opOrder.filter(n => n in probs).map((n, i) => {
+    const color = cssVar(SERIES[Math.min(i, SERIES.length - 1)]);
+    const pct = Math.max(0, Math.min(1, probs[n]));
+    return `<div class="opsrow"><span class="name" title="${n}">${n}</span>
+      <span class="bar-track"><span class="bar" style="width:${(pct * 100).toFixed(1)}%;
+        background:${color}; display:block"></span></span>
+      <span class="val">${(pct * 100).toFixed(1)}%</span></div>`;
+  });
+  $("ops").innerHTML = rows.join("");
+}
+
+function renderMetrics(mx) {
+  const c = mx.counters || {};
+  const faults = (c.worker_faults || 0);
+  $("tiles").innerHTML =
+    tile("NFE", fmt(mx.nfe), mx.meta && mx.meta.max_nfe
+      ? "of " + fmt(mx.meta.max_nfe) : "") +
+    tile("Throughput", fmt(mx.throughput, 3), "evals/s (30 s window)") +
+    tile("Archive", fmt(mx.archive_size),
+      fmt(mx.epsilon_progress_rate, 3) + " ε-improvements / kNFE") +
+    tile("Hypervolume", fmt(mx.hypervolume, 4),
+      "online ref · front " + fmt(mx.front_size)) +
+    tile("Latency p50 / p99", fmt(mx.latency.p50, 3) + " / "
+      + fmt(mx.latency.p99, 3), "claim→complete, s") +
+    tile("Faults", fmt(faults),
+      (c.reclaims || 0) + " reclaims · " + (c.dead_letters || 0) + " dead");
+  const traj = (mx.trajectory || []).map(s => [s.time, s.nfe]);
+  lineChart($("chart-nfe"), traj, {color: "--s1", label: "NFE over time",
+    unit: "NFE"});
+  const hv = (mx.trajectory || []).map(s => [s.nfe, s.hypervolume]);
+  lineChart($("chart-hv"), hv, {color: "--s3", xNumeric: true,
+    label: "Hypervolume over NFE", unit: "HV"});
+  renderOps(mx.operator_probabilities || {});
+  const rows = [
+    ["completed", c.evals_completed], ["failed attempts", c.evals_failed],
+    ["restarts", c.restarts], ["ε-improvements", c.epsilon_improvements],
+    ["lease reclaims", c.reclaims], ["dead letters", c.dead_letters],
+    ["duplicate tells", c.duplicate_tells], ["redispatches", c.redispatches],
+    ["snapshots", c.snapshots], ["operator updates", c.operator_updates],
+    ["pending / running", fmt(mx.pending) + " / " + fmt(mx.running)],
+    ["master", mx.master || "–"],
+    ["status", mx.finished ? "finished" : "running"],
+  ];
+  $("counters").innerHTML = rows.map(r =>
+    `<tr><td>${r[0]}</td><td>${fmt(r[1] === undefined ? 0 : r[1])}</td></tr>`
+  ).join("");
+}
+
+function logEvent(e) {
+  const log = $("log");
+  const empty = log.querySelector(".empty");
+  if (empty) empty.remove();
+  const li = document.createElement("li");
+  const when = new Date((e.time || Date.now() / 1000) * 1000);
+  const color = FAULT_STATUS[e.kind] || GOOD[e.kind] || "--ink-muted";
+  const d = e.data || {};
+  const detail = [
+    d.trial !== undefined ? "trial " + d.trial : "",
+    d.worker ? "worker " + d.worker : "",
+    d.nfe !== undefined ? "nfe " + d.nfe : "",
+    d.reason || d.error || "",
+  ].filter(Boolean).join(" · ");
+  li.innerHTML = `<span class="t">${when.toTimeString().slice(0, 8)}</span>
+    <span class="kind"><span class="dot"
+      style="background:${cssVar(color)}"></span>${e.kind}</span>
+    <span class="detail">${detail}</span>`;
+  log.prepend(li);
+  while (log.children.length > 100) log.lastChild.remove();
+}
+
+async function refresh() {
+  if (!currentStudy) return;
+  try {
+    const mx = await (await fetch("/api/metrics?study="
+      + encodeURIComponent(currentStudy))).json();
+    renderMetrics(mx);
+    $("conn").textContent = mx.finished ? "finished" : "live";
+  } catch (err) { $("conn").textContent = "disconnected"; }
+}
+
+function subscribe() {
+  if (es) { es.close(); es = null; }
+  if (!currentStudy || !window.EventSource) return;
+  es = new EventSource("/api/stream?study="
+    + encodeURIComponent(currentStudy));
+  const kinds = ["eval-enqueued","eval-started","eval-finished",
+    "eval-failed","archive-insert","epsilon-progress","restart",
+    "operator-update","worker-fault","redispatch","dead-letter",
+    "duplicate-tell","lease-claim","lease-reclaim","master-lease",
+    "snapshot","study-created","study-finished","migration",
+    "island-retired"];
+  kinds.forEach(k => es.addEventListener(k, (msg) => {
+    const e = JSON.parse(msg.data);
+    if (k !== "eval-enqueued" && k !== "lease-claim") logEvent(e);
+  }));
+  es.onerror = () => { $("conn").textContent = "reconnecting…"; };
+  es.onopen = () => { $("conn").textContent = "live"; };
+}
+
+async function boot() {
+  if (STATIC) {
+    $("conn").textContent = "static report";
+    const select = $("study");
+    STATIC.studies.forEach(s => select.add(new Option(s.name, s.name)));
+    select.value = STATIC.metrics.study;
+    select.disabled = true;
+    renderMetrics(STATIC.metrics);
+    (STATIC.events || []).forEach(logEvent);
+    return;
+  }
+  const select = $("study");
+  try {
+    const data = await (await fetch("/api/studies")).json();
+    select.innerHTML = "";
+    data.studies.forEach(s => select.add(new Option(
+      `${s.name} (${s.problem || "?"}, ${s.completed}${
+        s.max_nfe ? "/" + s.max_nfe : ""})`, s.name)));
+    if (data.studies.length) {
+      currentStudy = select.value = data.studies[0].name;
+    }
+  } catch (err) { $("conn").textContent = "no server"; return; }
+  select.addEventListener("change", () => {
+    currentStudy = select.value; opOrder = [];
+    $("log").innerHTML = '<li class="empty">waiting for events…</li>';
+    refresh(); subscribe();
+  });
+  await refresh(); subscribe();
+  setInterval(refresh, 2000);
+}
+boot();
+</script>
+</body>
+</html>
+"""

@@ -235,3 +235,41 @@ class TestReporting:
         assert lines[0] == "T"
         assert lines[1].startswith("r1")
         assert "scale" in lines[-1]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(("a", "bb"), [])
+        lines = out.splitlines()
+        assert len(lines) == 2  # header + separator, no data rows
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_table_none_cell(self):
+        out = format_table(("x", "y"), [(None, 1.0)])
+        assert out.splitlines()[-1].split("|")[0].strip() == "-"
+
+    def test_format_table_extreme_floats(self):
+        out = format_table(("v",), [(1e-9,), (1.23e7,), (0.0,)])
+        lines = out.splitlines()
+        assert "1e-09" in lines[2]
+        assert "1.23e+07" in lines[3]
+        assert lines[4].strip() == "0"
+
+    def test_write_csv_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(str(path), ("a", "b"), [])
+        assert path.read_text().strip() == "a,b"
+
+    def test_ascii_heatmap_no_rows(self):
+        out = ascii_heatmap(np.empty((0, 0)), [], [])
+        lines = out.splitlines()
+        assert lines[-1].startswith("scale")
+        assert len(lines) == 2  # footer + scale only
+
+    def test_ascii_heatmap_degenerate_range(self):
+        # vmax <= vmin must not divide by zero; everything maps low.
+        out = ascii_heatmap(
+            np.array([[0.5, 0.5]]), ["r"], ["c1", "c2"],
+            vmin=1.0, vmax=1.0,
+        )
+        row = out.splitlines()[0]
+        assert row.startswith("r |")
+        assert "@" not in row

@@ -146,6 +146,9 @@ class TestNoRecordFastMode:
         # ... but the reductions are identical.
         assert lean.count == full.count == 10_000
         assert lean.last == full.last
+        assert lean.mean == pytest.approx(full.mean)
+        assert lean.variance == pytest.approx(full.variance)
+        assert lean.std == pytest.approx(full.std)
         assert lean.time_average() == pytest.approx(full.time_average())
         assert lean.time_average(until=20_000.0) == pytest.approx(
             full.time_average(until=20_000.0)
