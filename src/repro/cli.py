@@ -169,10 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
     worker = study_sub.add_parser(
         "worker",
         help="attach one worker process to a study (run N of these "
-        "concurrently; leader election picks the master)",
+        "concurrently; leader election picks the master), or with "
+        "--all serve every study in the storage as a multi-tenant "
+        "fleet",
     )
     worker.add_argument("--storage", required=True)
     worker.add_argument("--name", default="default")
+    worker.add_argument("--all", action="store_true",
+                        help="multi-tenant fleet: multiplex every study "
+                        "in the storage (including ones created while "
+                        "running) over this process")
     worker.add_argument("--worker-id", default=None)
     worker.add_argument("--max-seconds", type=float, default=None,
                         help="give up after this long even if unfinished")
@@ -180,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluation/master lease TTL (seconds)")
     worker.add_argument("--lookahead", type=int, default=8,
                         help="max trials pending+running at once")
+    worker.add_argument("--claim-batch", type=int, default=1,
+                        help="trials claimed/told per compound storage "
+                        "op (the batched ingest path)")
+    worker.add_argument("--group-commit", action="store_true",
+                        help="coalesce concurrent appends into shared "
+                        "fsync barriers (journal/SQLite backends)")
+    worker.add_argument("--flush-interval", type=float, default=0.0,
+                        help="group-commit linger (seconds) before the "
+                        "leader flushes (bounds added latency)")
 
     status = study_sub.add_parser(
         "status", help="inspect studies in a storage file"
@@ -206,6 +221,28 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--json", default=None,
                         help="also write a JSON payload: front plus "
                         "reclaims/dead-letter/duplicate-tell counters")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="traffic harness: saturate the study service with "
+        "realistic load and validate the queueing model "
+        "(docs/PERFORMANCE.md)",
+    )
+    traffic.add_argument("--threads", type=int, default=8,
+                         help="closed-loop workers in the tell storms")
+    traffic.add_argument("--tells-per-thread", type=int, default=100)
+    traffic.add_argument("--claim-batch", type=int, default=8,
+                         help="tells per storage op in the batched storm")
+    traffic.add_argument("--mix-users", type=int, default=8,
+                         help="closed-loop users in the request-mix replay")
+    traffic.add_argument("--mix-duration", type=float, default=1.5)
+    traffic.add_argument("--think-mean", type=float, default=0.002,
+                         help="mean exponential think time (seconds)")
+    traffic.add_argument("--max-batch", type=int, default=64,
+                         help="group-commit batch cap")
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full report as JSON")
 
     serve = sub.add_parser(
         "serve",
@@ -502,17 +539,51 @@ def _cmd_study(args) -> int:
 
         if args.study_command == "worker":
             from repro.parallel.service import (
+                FleetRunner,
                 ServiceConfig,
                 StorageBackedRunner,
             )
 
-            study = Study.load(storage, args.name)
-            problem = _PROBLEMS[study.state.meta["problem"]]()
             service = ServiceConfig(
                 lease_ttl=args.lease_ttl,
                 master_lease_ttl=args.lease_ttl,
                 lookahead=args.lookahead,
+                claim_batch=args.claim_batch,
             )
+            if args.all:
+                # Multi-tenant fleet: reopen with the write knobs and
+                # serve every study over one shared cache.
+                storage.close()
+                kwargs = {}
+                if args.group_commit:
+                    kwargs = {
+                        "group_commit": True,
+                        "flush_interval": args.flush_interval,
+                    }
+                storage = open_storage(args.storage, **kwargs)
+                fleet = FleetRunner(
+                    storage,
+                    service=service,
+                    worker_id=args.worker_id,
+                )
+                result = fleet.run(max_seconds=args.max_seconds)
+                print(f"{result.worker}: served {result.studies} "
+                      f"studies, finished {result.finished}, "
+                      f"evaluated {result.evaluated} trials in "
+                      f"{result.elapsed:.2f}s")
+                cache = result.cache
+                print(f"cache: hit_rate={cache.get('hit_rate', 0):.3f} "
+                      f"backend_reads={cache.get('backend_reads')} "
+                      f"probes={cache.get('backend_probes')}")
+                for name in sorted(result.per_study):
+                    info = result.per_study[name]
+                    print(f"  {name}: evaluated={info['evaluated']} "
+                          f"finished={info['finished']}")
+                done = result.finished >= result.studies
+                return 0 if result.studies and done else 1
+
+            study = Study.load(storage, args.name)
+            problem = _PROBLEMS[study.state.meta["problem"]]()
             runner = StorageBackedRunner(
                 problem, study, service=service, worker_id=args.worker_id
             )
@@ -641,6 +712,35 @@ def _watch_status(storage, name: str, args) -> int:
         return 0
 
 
+def _cmd_traffic(args) -> int:
+    """``repro traffic``: saturate the service, validate the model."""
+    import json
+
+    from repro.experiments.traffic import (
+        TrafficConfig,
+        format_report,
+        run_traffic,
+    )
+
+    config = TrafficConfig(
+        threads=args.threads,
+        tells_per_thread=args.tells_per_thread,
+        claim_batch=args.claim_batch,
+        mix_users=args.mix_users,
+        mix_duration=args.mix_duration,
+        think_mean=args.think_mean,
+        max_batch=args.max_batch,
+        seed=args.seed,
+    )
+    report = run_traffic(config)
+    print(format_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """``repro serve``: live dashboard or static report."""
     if args.report is not None:
@@ -683,6 +783,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "chaos": _cmd_chaos,
         "study": _cmd_study,
+        "traffic": _cmd_traffic,
         "serve": _cmd_serve,
     }[args.command]
     return handler(args)

@@ -43,6 +43,13 @@ from .faults import (
     throughput_degradation,
 )
 from .queueing import QueueingModel, RepairmanSolution, solve_repairman
+from .service import (
+    ServicePrediction,
+    predict_service,
+    saturation_users,
+    service_curve,
+    simulate_service,
+)
 from .simmodel import (
     IslandsOutcome,
     SimulationOutcome,
@@ -100,4 +107,9 @@ __all__ = [
     "QueueingModel",
     "RepairmanSolution",
     "solve_repairman",
+    "ServicePrediction",
+    "predict_service",
+    "saturation_users",
+    "service_curve",
+    "simulate_service",
 ]

@@ -30,14 +30,24 @@ Storage faults (torn writes, lock timeouts -- real or injected by
 :class:`~repro.storage.FaultyStorage`) are retried with capped
 exponential backoff; a torn append is invisible to replay, so a retry
 can never double-apply.
+
+Multi-tenancy: :class:`FleetRunner` multiplexes *many* studies over one
+worker process.  Each study gets its own :class:`StorageBackedRunner`
+(sharing one :class:`~repro.storage.StudyCache` over one backend
+handle), and the fleet round-robins :meth:`StorageBackedRunner.step`
+scheduling quanta across them -- fair claiming, per-study leases, one
+batched master-lease renewal for every study this process masters.
+``repro study worker --all`` runs one fleet process; N of them are a
+shared worker pool for thousands of concurrent studies.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -45,14 +55,17 @@ from ..core.borg import BorgConfig, BorgEngine, BorgResult
 from ..core.checkpoint import engine_state, restore_engine
 from ..core.solution import Solution
 from ..problems.base import Problem
-from ..storage import RetryPolicy, StorageError, Study
+from ..storage import RetryPolicy, StorageError, Study, StudyCache
 from ..storage.study import TRIAL_PENDING, TRIAL_RUNNING
 
 __all__ = [
+    "FleetResult",
+    "FleetRunner",
     "ServiceConfig",
     "ServiceResult",
     "StorageBackedRunner",
     "final_front",
+    "run_fleet_worker",
     "run_study_worker",
 ]
 
@@ -84,6 +97,11 @@ class ServiceConfig:
     #: Base/ceiling of the storage-retry backoff (seconds).
     op_backoff_base: float = 0.01
     op_backoff_max: float = 0.5
+    #: Trials claimed per scheduling step (one compound claim op).  A
+    #: worker holding a batch renews *all* its leases with one
+    #: ``heartbeats`` op between evaluations, so log traffic per
+    #: renewal interval is O(1) in the batch size.
+    claim_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.lease_ttl <= 0 or self.master_lease_ttl <= 0:
@@ -94,6 +112,8 @@ class ServiceConfig:
             raise ValueError("snapshot_interval must be >= 1")
         if self.op_attempts < 1:
             raise ValueError("op_attempts must be >= 1")
+        if self.claim_batch < 1:
+            raise ValueError("claim_batch must be >= 1")
 
 
 @dataclass
@@ -158,6 +178,9 @@ class StorageBackedRunner:
         #: embedding application).
         self.publisher = publisher
         self.engine: Optional[BorgEngine] = None
+        #: Trials this process has claimed and resolved (its share of
+        #: the fleet's work); read by :class:`FleetRunner`.
+        self.evaluated = 0
         self._ingested: set[int] = set()
         self._last_snapshot_nfe = 0
         self._last_snapshot_improvements = -1
@@ -295,16 +318,26 @@ class StorageBackedRunner:
         # will, so their budget slots are re-issued to fresh candidates.
         live = len(state.trials) - counts["failed"]
         in_flight = counts[TRIAL_PENDING] + counts[TRIAL_RUNNING]
-        while live < max_nfe and in_flight < self.service.lookahead:
-            candidate = self.engine.next_candidate()
-            trial_id = self._robust(
-                study.enqueue, candidate.variables, operator=candidate.operator
+        headroom = min(
+            max_nfe - live, self.service.lookahead - in_flight
+        )
+        if headroom > 0:
+            # Top up the dispatch window in one compound op: K fresh
+            # candidates, one lock round-trip, one durability barrier.
+            candidates = [
+                self.engine.next_candidate() for _ in range(headroom)
+            ]
+            trial_ids = self._robust(
+                study.enqueue_many,
+                [c.variables for c in candidates],
+                operators=[c.operator for c in candidates],
             )
-            self._emit(
-                "eval-enqueued", trial=trial_id, operator=candidate.operator
-            )
-            live += 1
-            in_flight += 1
+            for trial_id, candidate in zip(trial_ids, candidates):
+                self._emit(
+                    "eval-enqueued",
+                    trial=trial_id,
+                    operator=candidate.operator,
+                )
         if state.completed >= max_nfe and not state.finished:
             self._maybe_snapshot(force=True)
             self._robust(study.finish)
@@ -314,56 +347,125 @@ class StorageBackedRunner:
         return False
 
     # -- worker role ---------------------------------------------------------
-    def _evaluate_one(self) -> bool:
-        """Claim, evaluate, tell.  Returns True when a trial was
-        processed (claimed and resolved one way or the other)."""
+    def _evaluate_batch(self) -> int:
+        """Claim up to ``claim_batch`` trials in one compound op,
+        evaluate them, tell the successes back in one compound op.
+        Returns the number of trials processed (claimed and resolved
+        one way or the other).
+
+        While the batch is in hand, *all* its leases are renewed with a
+        single ``heartbeats`` op whenever a third of the TTL has
+        elapsed -- so a worker holding N claims costs one log record
+        per renewal interval instead of N.
+        """
         study = self.study
-        record = self._robust(
-            study.claim, self.worker_id, self.service.lease_ttl
-        )
-        if record is None:
-            return False
-        trial_id = record.trial_id
-        self._emit("eval-started", trial=trial_id, worker=self.worker_id)
-        candidate = Solution(
-            np.array(record.variables, copy=True), operator=record.operator
-        )
-        try:
-            self.problem.evaluate(candidate)
-        except Exception as exc:  # noqa: BLE001 -- injected/user faults
-            self._robust(
-                study.fail,
-                trial_id,
-                self.worker_id,
-                f"{type(exc).__name__}: {exc}",
-                self.service.retry,
-            )
-            self._emit(
-                "eval-failed",
-                trial=trial_id,
-                worker=self.worker_id,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-            return True
-        constraints = (
-            candidate.constraints if candidate.constraints.size else None
-        )
-        self._robust(
-            study.tell,
-            trial_id,
+        service = self.service
+        records = self._robust(
+            study.claim_many,
             self.worker_id,
-            candidate.objectives,
-            constraints,
+            service.lease_ttl,
+            service.claim_batch,
         )
-        self._emit(
-            "eval-finished",
-            trial=trial_id,
-            worker=self.worker_id,
-            objectives=[float(x) for x in candidate.objectives],
-        )
-        return True
+        if not records:
+            return 0
+        held = [r.trial_id for r in records]
+        for trial_id in held:
+            self._emit(
+                "eval-started", trial=trial_id, worker=self.worker_id
+            )
+        next_renew = time.time() + service.lease_ttl / 3.0
+        results: list[tuple] = []
+        for record in records:
+            if len(held) > 1 and time.time() >= next_renew:
+                self._robust(
+                    study.heartbeat_many,
+                    held,
+                    self.worker_id,
+                    service.lease_ttl,
+                )
+                next_renew = time.time() + service.lease_ttl / 3.0
+            trial_id = record.trial_id
+            candidate = Solution(
+                np.array(record.variables, copy=True),
+                operator=record.operator,
+            )
+            try:
+                self.problem.evaluate(candidate)
+            except Exception as exc:  # noqa: BLE001 -- injected/user faults
+                self._robust(
+                    study.fail,
+                    trial_id,
+                    self.worker_id,
+                    f"{type(exc).__name__}: {exc}",
+                    service.retry,
+                )
+                self._emit(
+                    "eval-failed",
+                    trial=trial_id,
+                    worker=self.worker_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            constraints = (
+                candidate.constraints if candidate.constraints.size else None
+            )
+            results.append(
+                (trial_id, candidate.objectives, constraints, candidate)
+            )
+        if results:
+            self._robust(
+                study.tell_many,
+                [(tid, obj, con) for tid, obj, con, _ in results],
+                self.worker_id,
+            )
+            for trial_id, _, _, candidate in results:
+                self._emit(
+                    "eval-finished",
+                    trial=trial_id,
+                    worker=self.worker_id,
+                    objectives=[float(x) for x in candidate.objectives],
+                )
+        return len(records)
 
     # -- main loop -----------------------------------------------------------
+    def resolve_max_nfe(self, max_nfe: Optional[int] = None) -> int:
+        """``max_nfe`` argument, falling back to the study meta."""
+        if max_nfe is None:
+            max_nfe = self.study.state.meta.get("max_nfe")
+        if not max_nfe or max_nfe < 1:
+            raise ValueError(
+                "max_nfe must be >= 1 (argument or study meta)"
+            )
+        return int(max_nfe)
+
+    def step(self, max_nfe: int) -> str:
+        """One scheduling quantum: refresh, master duties if we hold
+        (or can take) the master lease, then evaluate one claim batch.
+        Returns ``"finished"`` / ``"worked"`` / ``"idle"`` -- the unit
+        a :class:`FleetRunner` round-robins across studies."""
+        study = self.study
+        try:
+            study.refresh()
+        except StorageError:
+            return "idle"
+        if study.state.finished:
+            return "finished"
+        now = time.time()
+        try:
+            is_master = self._try_become_master(now)
+        except StorageError:
+            is_master = False
+        if is_master and self._master_duties(max_nfe, now):
+            return "finished"
+        try:
+            processed = self._evaluate_batch()
+            if processed:
+                self.evaluated += processed
+                return "worked"
+        except StorageError:
+            pass  # op retries exhausted; lease expiry re-queues it
+        return "idle"
+
     def run(
         self,
         max_nfe: Optional[int] = None,
@@ -374,14 +476,9 @@ class StorageBackedRunner:
         """
         study = self.study
         study.refresh()
-        if max_nfe is None:
-            max_nfe = study.state.meta.get("max_nfe")
-        if not max_nfe or max_nfe < 1:
-            raise ValueError(
-                "max_nfe must be >= 1 (argument or study meta)"
-            )
+        max_nfe = self.resolve_max_nfe(max_nfe)
         start = time.perf_counter()
-        evaluated = 0
+        self.evaluated = 0
         finished = False
         while True:
             if (
@@ -389,30 +486,11 @@ class StorageBackedRunner:
                 and time.perf_counter() - start > max_seconds
             ):
                 break
-            try:
-                study.refresh()
-            except StorageError:
-                time.sleep(self.service.poll_interval)
-                continue
-            if study.state.finished:
+            outcome = self.step(max_nfe)
+            if outcome == "finished":
                 finished = True
                 break
-            now = time.time()
-            try:
-                is_master = self._try_become_master(now)
-            except StorageError:
-                is_master = False
-            if is_master and self._master_duties(max_nfe, now):
-                finished = True
-                break
-            progressed = False
-            try:
-                progressed = self._evaluate_one()
-                if progressed:
-                    evaluated += 1
-            except StorageError:
-                pass  # op retries exhausted; lease expiry re-queues it
-            if not progressed:
+            if outcome == "idle":
                 time.sleep(self.service.poll_interval)
         study.refresh()
         borg = None
@@ -421,7 +499,7 @@ class StorageBackedRunner:
             borg = self.engine.result()
         return ServiceResult(
             worker=self.worker_id,
-            evaluated=evaluated,
+            evaluated=self.evaluated,
             was_master=self._was_master,
             counts=study.counts(),
             finished=study.state.finished,
@@ -486,3 +564,238 @@ def run_study_worker(
         publisher=publisher,
     )
     return runner.run(max_seconds=max_seconds)
+
+
+@dataclass
+class FleetResult:
+    """One fleet process's view of a multi-study run."""
+
+    worker: str
+    #: Studies this process ever scheduled.
+    studies: int
+    #: Studies observed finished (by anyone) while scheduling.
+    finished: int
+    #: Trials this process evaluated across all studies.
+    evaluated: int
+    elapsed: float
+    storage_retries: int
+    #: Cache effectiveness + backend traffic (``StudyCache.stats()``).
+    cache: dict = field(default_factory=dict)
+    #: Per-study counters: ``{name: {"evaluated", "finished"}}``.
+    per_study: dict = field(default_factory=dict)
+
+
+class FleetRunner:
+    """Multiplex many concurrent studies over one worker process.
+
+    One storage backend handle, one write-through
+    :class:`~repro.storage.StudyCache` shared by every study, one
+    :class:`StorageBackedRunner` per study, scheduled round-robin in
+    :meth:`StorageBackedRunner.step` quanta -- so a process serves
+    thousands of studies with per-study leases and fair claiming,
+    instead of one process per study.
+
+    Master-lease renewals are *batched across studies*: every lease
+    this process holds and whose TTL is half-spent is renewed in one
+    compound op (``StudyCache.renew_leases``) per scheduling round, so
+    mastering S studies costs O(1) storage round-trips per TTL, not
+    O(S).
+
+    Parameters
+    ----------
+    storage:
+        Backend handle (this fleet's cache owns its read cursor).
+    study_names:
+        Studies to serve; None serves every unfinished study in the
+        backend, re-discovering new ones every ``discover_interval``
+        seconds (cheap: a probe-gated cache refresh).
+    problems:
+        Optional ``{study_name: Problem}`` overrides; by default each
+        study's problem is rebuilt from its ``problem`` meta via the
+        CLI registry, exactly like :func:`run_study_worker`.
+    """
+
+    def __init__(
+        self,
+        storage,
+        study_names: Optional[Sequence[str]] = None,
+        problems: Optional[dict] = None,
+        service: Optional[ServiceConfig] = None,
+        worker_id: Optional[str] = None,
+        publisher=None,
+        discover_interval: float = 0.5,
+        max_staleness: float = 0.0,
+    ) -> None:
+        self.storage = storage
+        self.cache = StudyCache(storage, max_staleness=max_staleness)
+        self.study_names = (
+            None if study_names is None else list(study_names)
+        )
+        self.problems = problems or {}
+        self.service = service or ServiceConfig()
+        self.worker_id = worker_id or f"w{os.getpid()}"
+        self.publisher = publisher
+        self.discover_interval = discover_interval
+        self._runners: dict[str, StorageBackedRunner] = {}
+        self._budgets: dict[str, int] = {}
+        self._queue: deque[str] = deque()
+        self._finished: set[str] = set()
+        self._last_discover = float("-inf")
+
+    def _problem_for(self, name: str, state) -> Problem:
+        if name in self.problems:
+            return self.problems[name]
+        problem_name = state.meta.get("problem")
+        if not problem_name:
+            raise ValueError(
+                f"study {name!r} has no problem meta; pass problems="
+            )
+        from ..cli import _PROBLEMS
+
+        return _PROBLEMS[problem_name]()
+
+    def _discover(self) -> None:
+        """Adopt every servable study the cache knows about."""
+        now = time.monotonic()
+        if now - self._last_discover < self.discover_interval:
+            return
+        self._last_discover = now
+        self.cache.refresh()
+        names = (
+            self.study_names
+            if self.study_names is not None
+            else self.cache.studies()
+        )
+        for name in names:
+            if name in self._runners or name in self._finished:
+                continue
+            state = self.cache.state(name)
+            if not state.created or state.finished:
+                continue
+            max_nfe = state.meta.get("max_nfe")
+            if not max_nfe:
+                continue  # not a service-driven study
+            study = Study(self.storage, name, cache=self.cache)
+            runner = StorageBackedRunner(
+                self._problem_for(name, state),
+                study,
+                service=self.service,
+                worker_id=self.worker_id,
+                publisher=self.publisher,
+            )
+            self._runners[name] = runner
+            self._budgets[name] = int(max_nfe)
+            self._queue.append(name)
+
+    def _renew_master_leases(self) -> None:
+        """One compound op renews every master lease this process
+        holds whose TTL is half-spent (before the per-runner ttl/3
+        renewal path would ever fire)."""
+        now = time.time()
+        ttl = self.service.master_lease_ttl
+        due = []
+        for name in self._queue:
+            held = self._runners[name].study.state.leases.get(MASTER_LEASE)
+            if (
+                held is not None
+                and held[0] == self.worker_id
+                and now <= held[1] <= now + ttl / 2.0
+            ):
+                due.append((name, MASTER_LEASE, self.worker_id))
+        if due:
+            try:
+                self.cache.renew_leases(due, ttl, now=now)
+            except StorageError:
+                pass  # retried implicitly next round
+
+    def run(self, max_seconds: Optional[float] = None) -> FleetResult:
+        """Serve studies until every adopted one is finished (or
+        ``max_seconds`` elapses)."""
+        start = time.perf_counter()
+        per_study: dict[str, dict] = {}
+        while True:
+            if (
+                max_seconds is not None
+                and time.perf_counter() - start > max_seconds
+            ):
+                break
+            self._discover()
+            if not self._queue:
+                if self.study_names is not None and len(
+                    self._finished
+                ) >= len(self.study_names):
+                    break  # every requested study done
+                if self.study_names is None and self._finished:
+                    break  # served everything we ever saw
+                time.sleep(self.service.poll_interval)
+                continue
+            self._renew_master_leases()
+            worked = False
+            # One full round-robin pass: every active study gets one
+            # scheduling quantum (fair claiming across tenants).
+            for _ in range(len(self._queue)):
+                name = self._queue.popleft()
+                runner = self._runners[name]
+                outcome = runner.step(self._budgets[name])
+                if outcome == "finished":
+                    self._finished.add(name)
+                    per_study[name] = {
+                        "evaluated": runner.evaluated,
+                        "finished": True,
+                    }
+                    # Drop the runner (and its engine) -- a fleet
+                    # serving thousands of studies must not hoard
+                    # finished engines.
+                    del self._runners[name]
+                    continue
+                if outcome == "worked":
+                    worked = True
+                self._queue.append(name)
+            if not worked:
+                time.sleep(self.service.poll_interval)
+        evaluated = sum(r.evaluated for r in self._runners.values()) + sum(
+            s["evaluated"] for s in per_study.values()
+        )
+        retries = sum(
+            r._storage_retries for r in self._runners.values()
+        )
+        for name, runner in self._runners.items():
+            per_study.setdefault(
+                name,
+                {"evaluated": runner.evaluated, "finished": False},
+            )
+        return FleetResult(
+            worker=self.worker_id,
+            studies=len(per_study),
+            finished=len(self._finished),
+            evaluated=evaluated,
+            elapsed=time.perf_counter() - start,
+            storage_retries=retries,
+            cache=self.cache.stats(),
+            per_study=per_study,
+        )
+
+
+def run_fleet_worker(
+    storage_spec: str,
+    study_names: Optional[Sequence[str]] = None,
+    service: Optional[ServiceConfig] = None,
+    worker_id: Optional[str] = None,
+    max_seconds: Optional[float] = None,
+    publisher=None,
+    storage_kwargs: Optional[dict] = None,
+) -> FleetResult:
+    """Attach one fleet process to a storage backend by path spec --
+    the ``repro study worker --all`` entry point.  Serves every
+    (or the named) studies in the backend concurrently."""
+    from ..storage import open_storage
+
+    storage = open_storage(storage_spec, **(storage_kwargs or {}))
+    fleet = FleetRunner(
+        storage,
+        study_names=study_names,
+        service=service,
+        worker_id=worker_id,
+        publisher=publisher,
+    )
+    return fleet.run(max_seconds=max_seconds)

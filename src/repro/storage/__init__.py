@@ -10,7 +10,10 @@ crash-safe operation log.
 Backends: in-memory (tests), append-only journal file (checksummed
 records, fsync, torn-tail truncation, advisory file lock), and SQLite
 (WAL mode, busy-timeout retry).  :func:`open_storage` picks one from a
-path/URL spec.
+path/URL spec.  All backends optionally *group-commit* (concurrent
+appends coalesce into shared durability barriers), and
+:class:`~repro.storage.cache.StudyCache` fronts any backend with a
+write-through in-memory fold so warm reads cost zero backend ops.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from __future__ import annotations
 import os
 
 from .base import RetryPolicy, StorageBackend, StorageError, StorageLockTimeout
+from .cache import StudyCache
 from .chaos import FaultyStorage
 from .journal import JournalStorage
 from .memory import InMemoryStorage
@@ -45,6 +49,7 @@ __all__ = [
     "StorageError",
     "StorageLockTimeout",
     "Study",
+    "StudyCache",
     "StudyError",
     "StudyState",
     "TrialRecord",

@@ -86,7 +86,24 @@ class StorageBackend(ABC):
     ``seq >= from_seq`` that is *intact* -- a backend whose tail was
     torn by a crash returns the longest clean prefix and never a
     partial record.
+
+    Traffic accounting: every backend counts its ``read``/``append``
+    calls (:attr:`read_calls` / :attr:`append_calls`) and cheap
+    staleness probes (:attr:`probe_calls`).  The
+    :class:`~repro.storage.cache.StudyCache` leans on these to prove
+    its zero-backend-op read path, and the traffic harness reports them
+    as the backend-pressure side of every load figure.
     """
+
+    def __init__(self) -> None:
+        #: ``read()`` invocations (each one a real backend scan/query).
+        self.read_calls = 0
+        #: ``append()``/``append_lazy()`` invocations.
+        self.append_calls = 0
+        #: Ops appended across all append calls.
+        self.appended_ops = 0
+        #: ``news()`` staleness probes (cheap; never decode ops).
+        self.probe_calls = 0
 
     @abstractmethod
     def append(self, ops: Sequence[dict]) -> int:
@@ -103,8 +120,43 @@ class StorageBackend(ABC):
     @contextmanager
     def lock(self, timeout: float | None = None) -> Iterator[None]:
         """Cross-process exclusive writer lock (reentrant within the
-        owning instance).  Raises :exc:`StorageLockTimeout` when the
-        lock cannot be acquired within ``timeout`` seconds."""
+        owning thread of this instance).  Raises
+        :exc:`StorageLockTimeout` when the lock cannot be acquired
+        within ``timeout`` seconds."""
+
+    # -- staleness probe (write-through cache support) -----------------------
+    def news(self) -> bool:
+        """Might the log hold ops beyond the last ``read()``/``append``
+        this instance performed?
+
+        A cheap, no-decode probe: ``False`` is a *guarantee* that a
+        ``read`` from this instance's cursor would return nothing, so a
+        caching layer may skip the read entirely; ``True`` only means
+        "refresh to be sure".  The default is the always-safe ``True``
+        (backends without a cheap probe force a refresh)."""
+        self.probe_calls += 1
+        return True
+
+    # -- deferred durability (group commit support) --------------------------
+    def append_lazy(self, ops: Sequence[dict]) -> int:
+        """Append ``ops`` *without* waiting for durability; pair with
+        :meth:`sync`.  The ops are applied to the log order immediately
+        (readers may observe them), but the caller must not acknowledge
+        them to anyone until :meth:`sync` returns.  Backends with no
+        deferred path (the default) simply perform a durable append."""
+        return self.append(ops)
+
+    def sync(self) -> None:
+        """Block until every op this instance ``append_lazy``'d is
+        durable.  Safe to call without the writer lock held -- and that
+        is the whole point: concurrent committers park here while one
+        of them performs a single coalesced flush (group commit)."""
+
+    def flush_stats(self) -> dict:
+        """Group-commit telemetry.  Backends without a coalescing flush
+        path report only that group commit is off; journal and SQLite
+        override with flush/commit counts and the batching knobs."""
+        return {"group_commit": False}
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any OS resources (files, connections)."""

@@ -49,6 +49,7 @@ class FaultyStorage(StorageBackend):
         lock_timeout_rate: float = 0.0,
         seed: Optional[int] = 0,
     ) -> None:
+        super().__init__()
         rates = (torn_write_rate, lock_timeout_rate)
         if any(r < 0 or r > 1 for r in rates):
             raise ValueError("fault rates must be in [0, 1]")
@@ -73,8 +74,29 @@ class FaultyStorage(StorageBackend):
             raise StorageError("injected append failure (atomic backend)")
         return self.inner.append(ops)
 
+    def append_lazy(self, ops: Sequence[dict]) -> int:
+        if ops and self.torn_write_rate and (
+            float(self._rng.random()) < self.torn_write_rate
+        ):
+            self.injected["torn_write"] += 1
+            if isinstance(self.inner, JournalStorage):
+                self.inner.torn_append(
+                    ops[0], fraction=float(self._rng.uniform(0.1, 0.9))
+                )
+            raise StorageError("injected append failure (atomic backend)")
+        return self.inner.append_lazy(ops)
+
+    def sync(self) -> None:
+        self.inner.sync()
+
     def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
         return self.inner.read(from_seq)
+
+    def news(self) -> bool:
+        return self.inner.news()
+
+    def flush_stats(self) -> dict:
+        return self.inner.flush_stats()
 
     @contextmanager
     def lock(self, timeout: float | None = None) -> Iterator[None]:

@@ -24,23 +24,37 @@ class InMemoryStorage(StorageBackend):
     """Op log in a list, guarded by a reentrant thread lock."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._log: list[bytes] = []
         self._lock = threading.RLock()
+        #: Highest log length this instance has observed via its own
+        #: reads/appends -- the cursor behind the ``news()`` probe.
+        self._seen = 0
 
     def append(self, ops: Sequence[dict]) -> int:
         with self._lock:
+            self.append_calls += 1
+            self.appended_ops += len(ops)
             for op in ops:
                 self._log.append(
                     pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
                 )
+            self._seen = len(self._log)
             return len(self._log) - 1
 
     def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
         with self._lock:
+            self.read_calls += 1
             tail = self._log[from_seq:]
+            self._seen = max(self._seen, from_seq + len(tail))
         return [
             (from_seq + i, pickle.loads(raw)) for i, raw in enumerate(tail)
         ]
+
+    def news(self) -> bool:
+        with self._lock:
+            self.probe_calls += 1
+            return len(self._log) != self._seen
 
     @contextmanager
     def lock(self, timeout: float | None = None) -> Iterator[None]:

@@ -7,6 +7,23 @@ so no tail-truncation logic is needed) and cross-process exclusion
 readers unblocked while a writer appends -- the property that lets a
 status dashboard tail a study that a worker fleet is hammering.
 
+Connection reuse: all :class:`SQLiteStorage` instances in one process
+that point at the same database share **one** ``sqlite3`` connection
+(per-process registry keyed by ``(pid, realpath)``), with SQLite's
+prepared-statement cache sized for the service workload -- so opening
+a storage handle per study costs a dict lookup, not a connection
+handshake, and hot statements (the append INSERT, the tail SELECT)
+compile once per process.  The registry is fork-aware: a child process
+never inherits the parent's live connection.
+
+Group commit: standalone appends from concurrent threads coalesce
+through a per-connection :class:`_TxnBatcher` -- one leader drains the
+queue of waiting appends into a single ``BEGIN IMMEDIATE .. COMMIT``,
+so N threads' acknowledged appends cost one WAL fsync instead of N.
+Appends made *inside* an explicit :meth:`lock` block (the Study
+layer's compound read-modify-append ops) are already inside the
+caller's transaction and commit with it.
+
 Contention is handled twice over: SQLite's own ``busy_timeout`` makes
 lock waits block-with-timeout instead of failing instantly, and every
 statement additionally retries on ``database is locked`` /
@@ -19,9 +36,10 @@ from __future__ import annotations
 import os
 import pickle
 import sqlite3
+import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 from .base import StorageBackend, StorageError, StorageLockTimeout
 
@@ -35,34 +53,229 @@ CREATE TABLE IF NOT EXISTS journal (
 """
 
 
+class _Conn:
+    """One process-wide connection to one database path.
+
+    ``rlock`` serializes this process's threads in front of SQLite's
+    cross-process locking (a shared connection cannot host two
+    concurrent transactions); ``depth`` tracks transaction nesting for
+    the thread currently holding ``rlock``.
+    """
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self.conn = conn
+        self.rlock = threading.RLock()
+        self.depth = 0
+        self.refs = 0
+        self.batcher: Optional["_TxnBatcher"] = None
+
+
+_REGISTRY: dict[tuple[int, str], _Conn] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class _TxnBatcher:
+    """Cross-thread transaction coalescing (SQLite group commit).
+
+    Threads enqueue their ops and park; the first to find no leader
+    drains every queued entry into one ``BEGIN IMMEDIATE .. COMMIT``.
+    Each entry's ops are inserted contiguously, so per-entry seqs stay
+    dense and the log order equals the queue order.  One WAL fsync
+    acknowledges the whole batch.
+    """
+
+    def __init__(
+        self,
+        storage: "SQLiteStorage",
+        flush_interval: float = 0.0,
+        max_batch: int = 64,
+    ) -> None:
+        self._storage = storage
+        self._cond = threading.Condition()
+        self._queue: list[list] = []  # [ops, done, last_seq, exc]
+        self._leader = False
+        #: Leader linger: how long to wait for stragglers before the
+        #: first commit of a leadership stint (0 = commit immediately).
+        self.flush_interval = max(0.0, float(flush_interval))
+        #: Cap on entries coalesced into one transaction.
+        self.max_batch = max(1, int(max_batch))
+        #: Transactions committed / entries served (mean batch size is
+        #: ``commits / flushes``, mirroring the journal's flush_stats).
+        self.flushes = 0
+        self.commits = 0
+
+    def append(self, ops: Sequence[dict]) -> int:
+        entry: list = [ops, False, None, None]
+        with self._cond:
+            self._queue.append(entry)
+            self._cond.notify_all()  # a lingering leader may be waiting
+            while True:
+                if entry[1]:
+                    if entry[3] is not None:
+                        raise entry[3]
+                    return entry[2]
+                if not self._leader:
+                    self._leader = True
+                    break
+                self._cond.wait(0.1)
+        try:
+            if self.flush_interval > 0.0:
+                deadline = time.monotonic() + self.flush_interval
+                with self._cond:
+                    while len(self._queue) < self.max_batch:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            break
+                        self._cond.wait(remaining)
+            while True:
+                with self._cond:
+                    batch = self._queue[: self.max_batch]
+                    del self._queue[: len(batch)]
+                    if not batch:
+                        self._leader = False
+                        self._cond.notify_all()
+                        if entry[3] is not None:
+                            raise entry[3]
+                        return entry[2]
+                self._commit_batch(batch)
+                with self._cond:
+                    self.flushes += 1
+                    self.commits += len(batch)
+                    for item in batch:
+                        item[1] = True
+                    self._cond.notify_all()
+        except BaseException:
+            # Leader died outside _commit_batch (shouldn't happen) --
+            # make sure nobody waits on a vanished leader.
+            with self._cond:
+                self._leader = False
+                self._cond.notify_all()
+            raise
+
+    def _commit_batch(self, batch: list[list]) -> None:
+        storage = self._storage
+        try:
+            with storage.lock():
+                for item in batch:
+                    last = None
+                    for op in item[0]:
+                        cursor = storage._execute(
+                            "INSERT INTO journal (payload) VALUES (?)",
+                            (
+                                pickle.dumps(
+                                    op, protocol=pickle.HIGHEST_PROTOCOL
+                                ),
+                            ),
+                        )
+                        last = cursor.lastrowid
+                    item[2] = int(last) - 1
+        except BaseException as exc:
+            for item in batch:
+                if item[2] is None:
+                    item[3] = exc
+
+
 class SQLiteStorage(StorageBackend):
-    """Op log in a single-table SQLite database (WAL mode)."""
+    """Op log in a single-table SQLite database (WAL mode).
+
+    Parameters
+    ----------
+    path:
+        Database file; one connection per process is shared by every
+        instance opened on the same (real)path.
+    busy_timeout:
+        SQLite busy handler timeout (seconds).
+    max_retries:
+        Extra capped-exponential retries on locked/busy errors.
+    synchronous:
+        WAL sync level -- ``"FULL"`` (default) fsyncs every commit;
+        ``"NORMAL"`` lets WAL coalesce fsyncs into checkpoints, which
+        keeps commit durability against *process* crashes but can lose
+        the last commits on *power* loss.  The throughput knob the
+        traffic harness exposes.
+    group_commit:
+        Coalesce standalone appends from concurrent threads into shared
+        transactions (one WAL fsync per batch).  Appends inside an
+        explicit ``lock()`` block always join the caller's transaction
+        regardless of this flag.
+    flush_interval:
+        With ``group_commit``, how long the transaction leader lingers
+        for stragglers before its first commit (seconds; 0 = commit
+        whatever is queued).  Same knob as the journal backend's.
+    max_batch:
+        With ``group_commit``, cap on appends coalesced into one
+        transaction (bounds worst-case acknowledge latency).
+    """
 
     def __init__(
         self,
         path: str | os.PathLike,
         busy_timeout: float = 10.0,
         max_retries: int = 12,
+        synchronous: str = "FULL",
+        group_commit: bool = False,
+        flush_interval: float = 0.0,
+        max_batch: int = 64,
     ) -> None:
+        super().__init__()
         self.path = os.fspath(path)
         self.busy_timeout = busy_timeout
         self.max_retries = max_retries
+        if synchronous.upper() not in ("OFF", "NORMAL", "FULL", "EXTRA"):
+            raise ValueError(f"bad synchronous level: {synchronous!r}")
+        self.synchronous = synchronous.upper()
+        self.group_commit = bool(group_commit)
+        self.flush_interval = max(0.0, float(flush_interval))
+        self.max_batch = max(1, int(max_batch))
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(self.path, timeout=busy_timeout)
-        self._conn.isolation_level = None  # explicit transactions only
-        self._lock_depth = 0
-        self._execute("PRAGMA journal_mode=WAL")
-        self._execute("PRAGMA synchronous=FULL")
-        self._execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
-        self._execute(_SCHEMA)
+        self._key = (os.getpid(), os.path.realpath(self.path))
+        self._rec: Optional[_Conn] = None
+        self._closed = False
+        #: Highest rowid this instance has observed (``news()`` cursor).
+        self._seen_rowid = 0
+        self._record()  # connect eagerly so schema errors surface here
+
+    # -- shared-connection registry ------------------------------------------
+    def _record(self) -> _Conn:
+        """The process-wide connection record (fork-aware, lazy)."""
+        key = (os.getpid(), os.path.realpath(self.path))
+        rec = self._rec
+        if rec is not None and key == self._key:
+            return rec
+        with _REGISTRY_LOCK:
+            rec = _REGISTRY.get(key)
+            if rec is None:
+                conn = sqlite3.connect(
+                    self.path,
+                    timeout=self.busy_timeout,
+                    check_same_thread=False,
+                    cached_statements=256,
+                )
+                conn.isolation_level = None  # explicit transactions only
+                rec = _Conn(conn)
+                _REGISTRY[key] = rec
+            rec.refs += 1
+        self._rec = rec
+        self._key = key
+        with rec.rlock:
+            self._apply_pragmas(rec)
+        return rec
+
+    def _apply_pragmas(self, rec: _Conn) -> None:
+        self._execute_on(rec, "PRAGMA journal_mode=WAL")
+        self._execute_on(rec, f"PRAGMA synchronous={self.synchronous}")
+        self._execute_on(
+            rec, f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}"
+        )
+        self._execute_on(rec, _SCHEMA)
 
     # -- busy retry ----------------------------------------------------------
-    def _execute(self, sql: str, params: Sequence = ()):
+    def _execute_on(self, rec: _Conn, sql: str, params: Sequence = ()):
         delay = 0.002
         for attempt in range(self.max_retries + 1):
             try:
-                return self._conn.execute(sql, params)
+                return rec.conn.execute(sql, params)
             except sqlite3.OperationalError as exc:
                 message = str(exc).lower()
                 if "locked" not in message and "busy" not in message:
@@ -74,57 +287,138 @@ class SQLiteStorage(StorageBackend):
                 time.sleep(delay)
                 delay = min(0.25, delay * 2)
 
+    def _execute(self, sql: str, params: Sequence = ()):
+        return self._execute_on(self._record(), sql, params)
+
     # -- contract ------------------------------------------------------------
     def append(self, ops: Sequence[dict]) -> int:
         if not ops:
             row = self._execute("SELECT MAX(seq) FROM journal").fetchone()
             return (row[0] or 0) - 1
+        self.append_calls += 1
+        self.appended_ops += len(ops)
+        rec = self._record()
+        if rec.rlock.acquire(blocking=False):
+            # Re-check under the lock: depth > 0 here means *this*
+            # thread already holds the transaction (compound op), so
+            # insert directly; the caller's COMMIT makes it durable.
+            try:
+                if rec.depth > 0:
+                    last = self._insert_ops(ops)
+                    self._seen_rowid = last + 1
+                    return last
+            finally:
+                rec.rlock.release()
+        if self.group_commit:
+            if rec.batcher is None:
+                with rec.rlock:
+                    if rec.batcher is None:
+                        rec.batcher = _TxnBatcher(
+                            self, self.flush_interval, self.max_batch
+                        )
+            last = rec.batcher.append(ops)
+            self._seen_rowid = max(self._seen_rowid, last + 1)
+            return last
         with self.lock():
-            last = None
-            for op in ops:
-                cursor = self._execute(
-                    "INSERT INTO journal (payload) VALUES (?)",
-                    (pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL),),
-                )
-                last = cursor.lastrowid
-            return int(last) - 1  # rowids are 1-based; seqs are 0-based
+            last = self._insert_ops(ops)
+        self._seen_rowid = last + 1
+        return last
+
+    def _insert_ops(self, ops: Sequence[dict]) -> int:
+        last = None
+        for op in ops:
+            cursor = self._execute(
+                "INSERT INTO journal (payload) VALUES (?)",
+                (pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL),),
+            )
+            last = cursor.lastrowid
+        return int(last) - 1  # rowids are 1-based; seqs are 0-based
 
     def read(self, from_seq: int = 0) -> list[tuple[int, dict]]:
+        self.read_calls += 1
         rows = self._execute(
             "SELECT seq, payload FROM journal WHERE seq > ? ORDER BY seq",
             (from_seq,),  # seq column is rowid (1-based) = logical seq + 1
         ).fetchall()
+        if rows:
+            self._seen_rowid = max(self._seen_rowid, int(rows[-1][0]))
         return [(int(seq) - 1, pickle.loads(payload)) for seq, payload in rows]
+
+    def news(self) -> bool:
+        """Staleness probe: one indexed ``MAX(rowid)`` lookup -- far
+        cheaper than a tail scan, and exact (rowids are allocated only
+        by committed appends)."""
+        self.probe_calls += 1
+        row = self._execute("SELECT MAX(seq) FROM journal").fetchone()
+        return int(row[0] or 0) != self._seen_rowid
 
     @contextmanager
     def lock(self, timeout: float | None = None) -> Iterator[None]:
-        if self._lock_depth > 0:
-            self._lock_depth += 1
+        rec = self._record()
+        wait = self.busy_timeout if timeout is None else timeout
+        if not rec.rlock.acquire(timeout=-1 if wait is None else wait):
+            raise StorageLockTimeout(
+                f"sqlite in-process lock for {self.path!r} not acquired "
+                f"within timeout"
+            )
+        try:
+            if rec.depth > 0:
+                rec.depth += 1
+                try:
+                    yield
+                finally:
+                    rec.depth -= 1
+                return
+            self._execute_on(rec, "BEGIN IMMEDIATE")
+            rec.depth = 1
             try:
                 yield
-            finally:
-                self._lock_depth -= 1
-            return
-        self._execute("BEGIN IMMEDIATE")
-        self._lock_depth = 1
-        try:
-            yield
-        except BaseException:
-            self._lock_depth = 0
-            try:
-                self._conn.execute("ROLLBACK")
-            except sqlite3.OperationalError:
-                pass
-            raise
-        else:
-            self._lock_depth = 0
-            self._execute("COMMIT")
+            except BaseException:
+                rec.depth = 0
+                try:
+                    rec.conn.execute("ROLLBACK")
+                except sqlite3.OperationalError:
+                    pass
+                raise
+            else:
+                rec.depth = 0
+                self._execute_on(rec, "COMMIT")
+        finally:
+            rec.rlock.release()
+
+    def flush_stats(self) -> dict:
+        """Group-commit telemetry (mirrors the journal backend's)."""
+        rec = self._rec
+        batcher = rec.batcher if rec is not None else None
+        if not self.group_commit or batcher is None:
+            return {"group_commit": self.group_commit}
+        return {
+            "group_commit": True,
+            "flushes": batcher.flushes,
+            "commits": batcher.commits,
+            "mean_batch": (
+                batcher.commits / batcher.flushes if batcher.flushes else 0.0
+            ),
+            "flush_interval": batcher.flush_interval,
+            "max_batch": batcher.max_batch,
+        }
 
     def close(self) -> None:
-        try:
-            self._conn.close()
-        except sqlite3.Error:  # pragma: no cover - close is best-effort
-            pass
+        if self._closed:
+            return
+        self._closed = True
+        rec = self._rec
+        self._rec = None
+        if rec is None or self._key[0] != os.getpid():
+            return
+        with _REGISTRY_LOCK:
+            rec.refs -= 1
+            if rec.refs <= 0:
+                _REGISTRY.pop(self._key, None)
+                try:
+                    rec.conn.close()
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
 
     def __len__(self) -> int:
         row = self._execute("SELECT COUNT(*) FROM journal").fetchone()

@@ -41,6 +41,7 @@ class StudyView:
 
     def __init__(self, storage: StorageBackend, name: str) -> None:
         self.name = name
+        self.storage = storage
         self.tailer = JournalTailer(storage, study=name)
         self.registry = MetricsRegistry()
         self._lock = threading.Lock()
@@ -61,6 +62,15 @@ class StudyView:
             k: v
             for k, v in state.meta.items()
             if isinstance(v, (str, int, float, bool)) or v is None
+        }
+        # Traffic-layer counters: this reader's backend op traffic and
+        # the backend's group-commit batching telemetry (PERFORMANCE.md
+        # "Service at scale").
+        snapshot["storage"] = {
+            "read_calls": self.storage.read_calls,
+            "append_calls": self.storage.append_calls,
+            "probe_calls": self.storage.probe_calls,
+            "flush": self.storage.flush_stats(),
         }
         return snapshot
 

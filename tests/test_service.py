@@ -337,3 +337,259 @@ class TestSigkill:
         cold = Study.load(JournalStorage(path), "s")
         assert cold.dump_state() == study.dump_state()
         storage.close()
+
+
+class TestBatchedIngest:
+    def test_claim_batch_reaches_exact_nfe(
+        self, tmp_path, service_config, small_config
+    ):
+        """claim_batch > 1: trials claimed/told in compound ops, NFE
+        still exact, replay parity intact."""
+        path = tmp_path / "s.journal"
+        storage = _make_study(path, 70)
+        study = Study.load(storage, "s")
+        service = ServiceConfig(
+            lease_ttl=1.0, master_lease_ttl=1.0, poll_interval=0.005,
+            lookahead=12, claim_batch=4,
+            retry=RetryPolicy(budget=50, backoff_base=0.01,
+                              backoff_max=0.1),
+            snapshot_interval=25,
+        )
+        runner = StorageBackedRunner(
+            _small_problem(), study, config=small_config, service=service,
+        )
+        result = runner.run(max_seconds=60.0)
+        assert result.finished
+        assert result.counts["complete"] == 70
+        cold = Study.load(open_storage(path), "s")
+        assert cold.dump_state() == study.dump_state()
+        storage.close()
+
+    def test_batch_lease_renewal_single_op(self, tmp_path):
+        """A worker holding a batch renews every lease with one
+        ``heartbeats`` record (not one op per trial)."""
+        storage = _make_study(tmp_path / "s.journal", 40)
+        study = Study.load(storage, "s")
+        study.enqueue_many([np.zeros(11)] * 6)
+        records = study.claim_many("w", ttl=10.0, limit=6, now=0.0)
+        last_seq = storage.read(0)[-1][0]
+        study.heartbeat_many(
+            [r.trial_id for r in records], "w", ttl=10.0, now=5.0
+        )
+        tail = storage.read(last_seq + 1)
+        assert [op["op"] for _, op in tail] == ["heartbeats"]
+        assert sorted(tail[0][1]["trials"]) == [
+            r.trial_id for r in records
+        ]
+        storage.close()
+
+
+def _make_fleet_studies(path, n_studies, max_nfe, config):
+    storage = open_storage(path, group_commit=True, flush_interval=0.0002)
+    from repro.storage import StudyCache
+
+    cache = StudyCache(storage)
+    for i in range(n_studies):
+        Study.create(
+            storage,
+            f"s{i:03d}",
+            meta={
+                "problem": "dtlz2",
+                "max_nfe": max_nfe,
+                "seed": i,
+                "config": config,
+            },
+            cache=cache,
+        )
+    storage.close()
+
+
+def _fleet_soak_worker(path, wid):
+    from repro.parallel.service import run_fleet_worker
+
+    run_fleet_worker(
+        str(path),
+        service=ServiceConfig(
+            lease_ttl=3.0, master_lease_ttl=3.0, poll_interval=0.002,
+            lookahead=8, claim_batch=2,
+            retry=RetryPolicy(budget=50, backoff_base=0.01,
+                              backoff_max=0.1),
+            snapshot_interval=50,
+        ),
+        worker_id=f"fleet{wid}",
+        max_seconds=180.0,
+        storage_kwargs={"group_commit": True, "flush_interval": 0.0002},
+    )
+
+
+class TestFleet:
+    def test_fleet_serves_many_studies_exactly(
+        self, tmp_path, small_config
+    ):
+        """One in-process fleet multiplexes 12 studies to exact NFE,
+        with the shared cache absorbing nearly every read."""
+        from repro.parallel.service import FleetRunner
+
+        path = tmp_path / "fleet.journal"
+        _make_fleet_studies(path, 12, 6, small_config)
+        storage = open_storage(
+            path, group_commit=True, flush_interval=0.0002
+        )
+        fleet = FleetRunner(
+            storage,
+            service=ServiceConfig(
+                lease_ttl=3.0, master_lease_ttl=3.0, poll_interval=0.002,
+                lookahead=8, claim_batch=2,
+                snapshot_interval=50,
+            ),
+            worker_id="solo",
+        )
+        result = fleet.run(max_seconds=120.0)
+        assert result.studies == 12 and result.finished == 12
+        assert result.evaluated == 12 * 6
+        for i in range(12):
+            info = result.per_study[f"s{i:03d}"]
+            assert info["finished"] is True
+        assert result.cache["hit_rate"] > 0.5
+        # The whole 12-study run re-read the backend at most a handful
+        # of times (cold fold + non-contiguity fallbacks).
+        assert result.cache["backend_reads"] <= 5
+        # Exact NFE per study, verified against a cold replay.
+        cold_storage = open_storage(path)
+        for i in range(12):
+            cold = Study.load(cold_storage, f"s{i:03d}")
+            assert cold.state.completed == 6, f"study s{i:03d}"
+            assert cold.state.finished
+        cold_storage.close()
+        storage.close()
+
+    def test_multi_tenant_soak_4_processes_100_studies(self, tmp_path):
+        """The acceptance soak: 4 fleet worker processes drive 100
+        concurrent studies (group commit + shared cache) to completion
+        with exact NFE each."""
+        path = tmp_path / "fleet.journal"
+        n_studies, max_nfe = 100, 4
+        config = BorgConfig(
+            initial_population_size=16,
+            adaptation_interval=50,
+            restart_check_interval=50,
+            snapshot_interval=50,
+            min_population_size=8,
+        )
+        _make_fleet_studies(path, n_studies, max_nfe, config)
+        procs = [
+            mp.Process(target=_fleet_soak_worker, args=(path, wid))
+            for wid in range(4)
+        ]
+        for p in procs:
+            p.start()
+        try:
+            for p in procs:
+                p.join(240.0)
+                assert p.exitcode == 0
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join(10.0)
+        storage = open_storage(path)
+        for i in range(n_studies):
+            study = Study.load(storage, f"s{i:03d}")
+            assert study.state.finished, f"s{i:03d} unfinished"
+            assert study.state.completed == max_nfe, (
+                f"s{i:03d}: {study.state.completed} != {max_nfe}"
+            )
+            assert study.state.counts()["failed"] == 0
+        storage.close()
+
+
+def _group_commit_worker(path):
+    """Child: drive the study through group-commit storage + cache
+    (flushes constantly in flight, so SIGKILL lands mid-flush)."""
+    from repro.storage import StudyCache
+
+    storage = JournalStorage(
+        path, group_commit=True, flush_interval=0.0005
+    )
+    cache = StudyCache(storage)
+    study = Study.load(storage, "s", cache=cache)
+    runner = StorageBackedRunner(
+        PacedProblem(0.005), study,
+        service=ServiceConfig(
+            lease_ttl=1.0, master_lease_ttl=1.0, poll_interval=0.002,
+            lookahead=12, claim_batch=3,
+            retry=RetryPolicy(budget=50, backoff_base=0.01,
+                              backoff_max=0.1),
+            snapshot_interval=25,
+        ),
+        worker_id="victim",
+    )
+    runner.run(max_seconds=120.0)  # pragma: no cover - killed first
+
+
+class TestSigkillGroupCommit:
+    def test_sigkill_mid_flush_replays_to_intact_prefix(
+        self, tmp_path, service_config, small_config
+    ):
+        """kill -9 while group-commit flushes are in flight: the
+        journal replays to the longest intact prefix, a cache-backed
+        live fold matches the cold replay byte-for-byte, and a rescuer
+        still finishes with exact NFE."""
+        from repro.storage import StudyCache
+
+        path = tmp_path / "s.journal"
+        storage = _make_study(path, 60)
+        storage.close()
+
+        victim = mp.Process(target=_group_commit_worker, args=(path,))
+        victim.start()
+        deadline = time.monotonic() + 30.0
+        probe = JournalStorage(path)
+        watched = Study.load(probe, "s")
+        while time.monotonic() < deadline:
+            watched.refresh()
+            if watched.state.completed >= 10:
+                break
+            time.sleep(0.01)
+        assert watched.state.completed >= 10, "victim made no progress"
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(10.0)
+        probe.close()
+
+        # Post-mortem: whatever the kill left (torn tail included) is
+        # replayable, and the cache-backed fold equals the cold fold.
+        recovering = JournalStorage(path)
+        intact, torn = recovering.recover()
+        assert intact > 0
+        cached_storage = JournalStorage(path)
+        cached_view = Study.load(
+            cached_storage, "s", cache=StudyCache(cached_storage)
+        )
+        cold_view = Study.load(JournalStorage(path), "s")
+        assert cached_view.dump_state() == cold_view.dump_state()
+        recovering.close()
+
+        # A rescuer (same knobs) drives it home with exact NFE.
+        rescue_storage = JournalStorage(
+            path, group_commit=True, flush_interval=0.0005
+        )
+        rescue_cache = StudyCache(rescue_storage)
+        rescuer = StorageBackedRunner(
+            _small_problem(),
+            Study.load(rescue_storage, "s", cache=rescue_cache),
+            config=small_config, service=service_config,
+            worker_id="rescuer",
+        )
+        result = rescuer.run(max_seconds=60.0)
+        assert result.finished
+        assert result.counts["complete"] == 60
+        final_cold = Study.load(JournalStorage(path), "s")
+        assert final_cold.state.completed == 60
+        assert (
+            final_cold.dump_state()
+            == Study.load(
+                rescue_storage, "s", cache=rescue_cache
+            ).dump_state()
+        )
+        rescue_storage.close()
+        cached_storage.close()

@@ -1,0 +1,210 @@
+"""Service-layer queueing model and the traffic harness.
+
+The model (``repro.models.service``) treats the storage backend --
+writer lock + group-commit flush -- as the one contended resource, the
+service-layer analogue of the paper's Eq. 3 master bottleneck.  These
+tests pin the closed-form saturation point, the exact-recurrence
+reference, the saturated shortcut, and a smoke run of the load
+harness that feeds it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.models import (
+    ServicePrediction,
+    predict_service,
+    saturation_users,
+    service_curve,
+    simulate_service,
+)
+from repro.stats import Constant, Exponential
+
+
+class TestSaturationUsers:
+    def test_closed_form(self):
+        # N* = (Z + R0) / (op + flush/B) with R0 = flush + op.
+        n = saturation_users(
+            think_mean=0.01, op_cost=0.001, flush_cost=0.004, max_batch=8
+        )
+        assert n == pytest.approx((0.01 + 0.005) / (0.001 + 0.0005))
+
+    def test_no_flush_degenerates_to_think_over_op(self):
+        n = saturation_users(0.01, 0.001, flush_cost=0.0, max_batch=1)
+        assert n == pytest.approx(0.011 / 0.001)
+
+    def test_batching_raises_the_knee(self):
+        per_op = saturation_users(0.01, 1e-4, 5e-4, max_batch=1)
+        batched = saturation_users(0.01, 1e-4, 5e-4, max_batch=64)
+        assert batched > 2 * per_op
+
+    def test_free_server_never_saturates(self):
+        assert saturation_users(0.01, 0.0, 0.0) == float("inf")
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            saturation_users(0.01, 0.001, max_batch=0)
+
+
+class TestSimulateService:
+    def test_idle_regime_matches_response_time_law(self):
+        # Far below the knee the server idles: a typical request pays
+        # just R0 = flush + op, so X = N / (Z + R0).  Exponential think
+        # desynchronizes the clients (constant think would lock all
+        # four into one permanent shared batch).
+        out = simulate_service(
+            users=4, requests=20_000, think=Exponential(0.01),
+            op_cost=Constant(1e-4), flush_cost=2e-4, max_batch=16,
+            seed=3,
+        )
+        assert out.throughput == pytest.approx(4 / 0.0103, rel=0.10)
+        assert out.p50 == pytest.approx(3e-4, rel=0.25)
+        # Occasional coincident arrivals share a batch; even the tail
+        # stays a small multiple of the uncontended sojourn.
+        assert out.p99 < 4 * 3e-4
+        assert out.utilization < 0.5
+        assert out.mean_batch < 2.0
+        assert not out.saturated
+
+    def test_saturated_regime_serves_full_batches(self):
+        out = simulate_service(
+            users=400, requests=30_000, think=Constant(1e-5),
+            op_cost=Constant(1e-4), flush_cost=1e-3, max_batch=8,
+            seed=3,
+        )
+        # Peak rate: B / (flush + B*op) = 8 / 1.8ms.
+        assert out.throughput == pytest.approx(8 / 1.8e-3, rel=0.05)
+        assert out.mean_batch == pytest.approx(8.0, rel=0.05)
+        assert out.utilization > 0.95
+
+    def test_seeded_determinism(self):
+        kw = dict(
+            users=16, requests=5_000, think=Exponential(0.002),
+            op_cost=Exponential(1e-4), flush_cost=2e-4, max_batch=8,
+        )
+        a = simulate_service(seed=9, **kw)
+        b = simulate_service(seed=9, **kw)
+        assert (a.throughput, a.p50, a.p99) == (
+            b.throughput, b.p50, b.p99
+        )
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_service(0, 100, 0.01, 1e-4)
+        with pytest.raises(ValueError):
+            simulate_service(4, 0, 0.01, 1e-4)
+
+
+class TestPredictService:
+    def test_below_knee_runs_exact_recurrence(self):
+        out = predict_service(
+            users=4, think=0.01, op_cost=1e-4, flush_cost=2e-4,
+            max_batch=16, requests=10_000, seed=1,
+        )
+        assert not out.saturated
+        ref = simulate_service(
+            4, 10_000, 0.01, 1e-4, 2e-4, 16, seed=1
+        )
+        assert out.throughput == ref.throughput
+        assert out.p99 == ref.p99
+
+    def test_saturated_shortcut_closed_form(self):
+        out = predict_service(
+            users=10_000, think=1e-4, op_cost=1e-4, flush_cost=1e-3,
+            max_batch=8,
+        )
+        assert out.saturated
+        hold = 1e-3 + 8 * 1e-4
+        assert out.throughput == pytest.approx(8 / hold)
+        r = 10_000 / out.throughput - 1e-4
+        assert out.p50 == pytest.approx(r)
+        assert out.p99 == pytest.approx(r + hold)
+        assert out.utilization == 1.0
+
+    def test_shortcut_agrees_with_simulation_at_saturation(self):
+        kw = dict(think=1e-5, op_cost=1e-4, flush_cost=1e-3, max_batch=8)
+        shortcut = predict_service(users=400, **kw)
+        assert shortcut.saturated
+        ref = simulate_service(users=400, requests=30_000, seed=3, **kw)
+        assert shortcut.throughput == pytest.approx(
+            ref.throughput, rel=0.05
+        )
+        assert shortcut.mean_latency == pytest.approx(
+            ref.mean_latency, rel=0.15
+        )
+
+    def test_million_user_prediction_is_instant(self):
+        t0 = time.perf_counter()
+        out = predict_service(
+            users=1_000_000, think=0.01, op_cost=5e-5, flush_cost=2e-4,
+            max_batch=64,
+        )
+        elapsed = time.perf_counter() - t0
+        assert out.saturated and out.users == 1_000_000
+        assert elapsed < 0.05  # arithmetic, not simulation
+        assert out.p99 > out.p50 > 1.0  # deep saturation: seconds of queue
+
+    def test_batching_throughput_win_at_saturation(self):
+        base = predict_service(
+            users=100_000, think=1e-4, op_cost=5e-5, flush_cost=2e-4,
+            max_batch=1,
+        )
+        batched = predict_service(
+            users=100_000, think=1e-4, op_cost=5e-5, flush_cost=2e-4,
+            max_batch=64,
+        )
+        expected = (2e-4 + 5e-5) / (5e-5 + 2e-4 / 64)
+        assert batched.throughput / base.throughput == pytest.approx(
+            expected
+        )
+        assert expected > 4.0  # the regime the 5x gate lives in
+
+
+class TestServiceCurve:
+    def test_throughput_rises_then_plateaus(self):
+        pops = [1, 2, 4, 8, 64, 512]
+        curve = service_curve(
+            pops, think=0.005, op_cost=1e-4, flush_cost=5e-4,
+            max_batch=8, seed=2,
+        )
+        assert [p.users for p in curve] == pops
+        xs = [p.throughput for p in curve]
+        for lo, hi in zip(xs, xs[1:]):
+            assert hi >= lo * 0.95  # nondecreasing up to noise
+        peak = 8 / (5e-4 + 8 * 1e-4)
+        assert xs[-1] == pytest.approx(peak, rel=0.05)
+        assert curve[-1].saturated
+        assert all(isinstance(p, ServicePrediction) for p in curve)
+
+
+class TestTrafficHarnessSmoke:
+    def test_tiny_run_produces_consistent_report(self, tmp_path):
+        from repro.experiments.traffic import (
+            TrafficConfig,
+            format_report,
+            run_traffic,
+        )
+
+        config = TrafficConfig(
+            threads=2, tells_per_thread=12, claim_batch=4,
+            mix_users=2, mix_duration=0.2, max_batch=16, seed=1,
+        )
+        report = run_traffic(config, workdir=tmp_path)
+        for key in (
+            "calibration", "baseline", "optimized", "optimized_per_op",
+            "speedup", "read_path", "mix", "model",
+        ):
+            assert key in report, key
+        assert report["baseline"]["throughput_per_s"] > 0
+        assert report["optimized"]["throughput_per_s"] > 0
+        assert report["speedup"] > 0
+        # The cached read path answered every probe without touching
+        # the backend -- the tentpole's zero-op-read claim.
+        assert report["read_path"]["backend_reads"] == 0
+        assert report["model"]["predicted_speedup"] > 1.0
+        # The report formatter renders without blowing up.
+        text = format_report(report)
+        assert "speedup" in text.lower()

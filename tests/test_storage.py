@@ -14,6 +14,7 @@ The crash-safety contract under test (docs/RESILIENCE.md §6):
 from __future__ import annotations
 
 import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -431,3 +432,322 @@ class TestFaultyStorage:
         ops = [op["op"] for _, op in JournalStorage(tmp_path / "c.journal").read(0)]
         assert ops == ["a"]
         inner.close()
+
+
+class TestNewsProbe:
+    """news() staleness probe: False must guarantee nothing new."""
+
+    def test_false_means_nothing_new(self, storage):
+        storage.append([{"op": "a"}])
+        storage.read(0)
+        assert storage.news() is False
+
+    def test_own_appends_are_already_seen(self, storage):
+        # The probe tracks this *instance's* cursor: its own appends
+        # advance it (the cache folds them via write-through, never by
+        # re-reading), so they are not "news".
+        storage.append([{"op": "a"}])
+        storage.read(0)
+        storage.append([{"op": "b"}])
+        assert storage.news() is False
+        assert [op["op"] for _, op in storage.read(1)] == ["b"]
+
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_external_writer_detected(self, kind, tmp_path):
+        ours = make_storage(kind, tmp_path)
+        ours.append([{"op": "a"}])
+        ours.read(0)
+        theirs = make_storage(kind, tmp_path)
+        theirs.append([{"op": "b"}])
+        assert ours.news() is True
+        theirs.close()
+        ours.close()
+
+    def test_probe_counts(self, storage):
+        storage.append([{"op": "a"}])
+        before = storage.probe_calls
+        storage.news()
+        storage.news()
+        assert storage.probe_calls == before + 2
+
+
+class TestGroupCommit:
+    """Group-commit batching: shared durability barriers, bounded
+    latency, and the same torn-tail crash contract as per-op fsync."""
+
+    def make_group(self, kind, tmp_path, **kwargs):
+        if kind == "journal":
+            return JournalStorage(
+                tmp_path / "g.journal", group_commit=True, **kwargs
+            )
+        return SQLiteStorage(tmp_path / "g.db", group_commit=True)
+
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_concurrent_appends_coalesce(self, kind, tmp_path):
+        import threading
+
+        storage = self.make_group(
+            kind, tmp_path, **({"flush_interval": 0.0005} if kind == "journal" else {})
+        )
+        per_thread, threads = 40, 6
+
+        def work(i):
+            for j in range(per_thread):
+                storage.append([{"op": "w", "t": i, "j": j}])
+
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        got = storage.read(0)
+        assert len(got) == per_thread * threads
+        assert [seq for seq, _ in got] == list(range(len(got)))
+        # Every (t, j) pair present exactly once.
+        seen = {(op["t"], op["j"]) for _, op in got}
+        assert len(seen) == per_thread * threads
+        stats = storage.flush_stats()
+        assert stats["commits"] >= per_thread * threads
+        # The batching win: fewer barriers than commits.
+        assert stats["flushes"] < stats["commits"]
+        assert stats["mean_batch"] > 1.0
+        storage.close()
+
+    @pytest.mark.parametrize("kind", ["journal", "sqlite"])
+    def test_durable_across_reopen(self, kind, tmp_path):
+        storage = self.make_group(kind, tmp_path)
+        storage.append([{"op": "a", "i": i} for i in range(5)])
+        storage.close()
+        again = make_storage(kind, tmp_path if kind != "journal" else tmp_path) if False else (
+            JournalStorage(tmp_path / "g.journal")
+            if kind == "journal"
+            else SQLiteStorage(tmp_path / "g.db")
+        )
+        assert [op["i"] for _, op in again.read(0)] == list(range(5))
+        again.close()
+
+    def test_append_lazy_sync_contract(self, tmp_path):
+        storage = JournalStorage(tmp_path / "g.journal", group_commit=True)
+        last = storage.append_lazy([{"op": "a"}, {"op": "b"}])
+        assert last == 1
+        storage.sync()  # durability barrier
+        cold = JournalStorage(tmp_path / "g.journal")
+        assert [op["op"] for _, op in cold.read(0)] == ["a", "b"]
+        cold.close()
+        storage.close()
+
+    def test_sync_without_lazy_append_is_noop(self, tmp_path):
+        storage = JournalStorage(tmp_path / "g.journal", group_commit=True)
+        storage.sync()
+        flushes = storage.flush_stats()["flushes"]
+        storage.sync()
+        assert storage.flush_stats()["flushes"] == flushes
+        storage.close()
+
+    def test_torn_tail_mid_flush_replays_intact_prefix(self, tmp_path):
+        """Crash between the buffered write and the group fsync: the
+        journal replays to the longest intact prefix -- records are
+        framed individually, so a torn multi-record flush loses at
+        most the torn record and everything after it in that flush."""
+        storage = JournalStorage(tmp_path / "g.journal", group_commit=True)
+        storage.append([{"op": "keep", "i": i} for i in range(3)])
+        with pytest.raises(StorageError):
+            storage.torn_append({"op": "gone"}, fraction=0.4)
+        cold = JournalStorage(tmp_path / "g.journal")
+        assert [op["op"] for _, op in cold.read(0)] == ["keep"] * 3
+        intact, torn = cold.recover()
+        assert intact == 3 and torn > 0
+        # Healed: appends after recovery land on the intact prefix.
+        cold.append([{"op": "after"}])
+        assert [op["op"] for _, op in cold.read(0)] == ["keep"] * 3 + ["after"]
+        cold.close()
+        storage.close()
+
+    def test_group_commit_study_replay_parity(self, tmp_path):
+        """The whole batched-op surface (enqueue_many / claim_many /
+        heartbeat_many / tell_many) under group commit folds to the
+        same bytes live (cache on) and cold."""
+        from repro.storage import StudyCache
+
+        storage = JournalStorage(
+            tmp_path / "g.journal", group_commit=True, flush_interval=0.0002
+        )
+        cache = StudyCache(storage)
+        study = Study.create(storage, "s", cache=cache)
+        study.enqueue_many(
+            [np.full(3, i) for i in range(10)],
+            operators=[f"op{i % 2}" for i in range(10)],
+        )
+        records = study.claim_many("w", ttl=60.0, limit=6)
+        assert len(records) == 6
+        study.heartbeat_many(
+            [r.trial_id for r in records], "w", ttl=120.0
+        )
+        told = study.tell_many(
+            [(r.trial_id, np.array([float(r.trial_id), 2.0]), None)
+             for r in records[:4]],
+            "w",
+        )
+        assert told == [True] * 4
+        # Duplicate results in one batch: first wins, second suppressed.
+        r = records[4]
+        dup = study.tell_many(
+            [
+                (r.trial_id, np.array([1.0, 1.0]), None),
+                (r.trial_id, np.array([9.0, 9.0]), None),
+            ],
+            "w",
+        )
+        assert dup == [True, False]
+        cold = Study.load(JournalStorage(tmp_path / "g.journal"), "s")
+        assert cold.dump_state() == study.dump_state()
+        np.testing.assert_array_equal(
+            cold.state.trials[r.trial_id].objectives, [1.0, 1.0]
+        )
+        storage.close()
+
+    def test_heartbeat_many_is_single_op(self, tmp_path):
+        storage = JournalStorage(tmp_path / "g.journal")
+        study = Study.create(storage, "s")
+        study.enqueue_many([np.zeros(2)] * 5)
+        records = study.claim_many("w", ttl=10.0, limit=5, now=0.0)
+        seq_before = storage.read(0)[-1][0]
+        ok = study.heartbeat_many(
+            [r.trial_id for r in records], "w", ttl=10.0, now=5.0
+        )
+        assert ok == [True] * 5
+        tail = storage.read(seq_before + 1)
+        assert len(tail) == 1 and tail[0][1]["op"] == "heartbeats"
+        # All five leases extended to 15.0: nothing stale at t=12.
+        assert study.reclaim_stale(now=12.0) == []
+        assert len(study.reclaim_stale(now=16.0)) == 5
+        storage.close()
+
+    def test_sqlite_flush_interval_linger_coalesces(self, tmp_path):
+        """The journal's group-commit knobs work on SQLite too (the
+        fleet CLI passes them through ``open_storage`` regardless of
+        backend): a lingering leader coalesces every concurrent
+        appender into one transaction."""
+        storage = open_storage(
+            tmp_path / "g.db",
+            group_commit=True,
+            flush_interval=0.002,
+            max_batch=32,
+        )
+        op = {"op": "lease", "study": "s", "key": "k", "worker": "w",
+              "expires": 0.0}
+        barrier = threading.Barrier(6)
+
+        def appender():
+            barrier.wait()
+            for _ in range(10):
+                storage.append([op])
+
+        threads = [threading.Thread(target=appender) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = storage.flush_stats()
+        assert stats["flushes"] < stats["commits"] == 60
+        assert stats["mean_batch"] > 1.5
+        assert stats["flush_interval"] == 0.002
+        assert stats["max_batch"] == 32
+        assert len(storage.read(0)) == 60
+        storage.close()
+
+
+class TestReclaimHeap:
+    """reclaim_stale scans expired leases via the expiry heap, not the
+    whole trial table."""
+
+    def test_reclaims_only_expired_and_stops_early(self, study):
+        for i in range(10):
+            study.enqueue(np.zeros(2))
+        # Stagger expiries: trial i leased at t=0 with ttl 10 + i.
+        for i in range(10):
+            study.claim("w", ttl=10.0 + i, now=0.0)
+        actions = study.reclaim_stale(now=13.5)
+        assert sorted(t for t, _ in actions) == [0, 1, 2, 3]
+        # Heap retains the future entries; nothing double-reclaimed.
+        assert study.reclaim_stale(now=13.5) == []
+        actions = study.reclaim_stale(now=25.0)
+        assert sorted(t for t, _ in actions) == [4, 5, 6, 7, 8, 9]
+
+    def test_heartbeat_tombstones_old_heap_entry(self, study):
+        tid = study.enqueue(np.zeros(2))
+        study.claim("w", ttl=10.0, now=0.0)
+        study.heartbeat(tid, "w", ttl=10.0, now=8.0)  # lease to 18.0
+        # The stale heap entry (expiry 10.0) must not reclaim at t=11.
+        assert study.reclaim_stale(now=11.0) == []
+        assert study.reclaim_stale(now=19.0) == [(tid, "pending")]
+
+    def test_completed_trial_not_reclaimed_via_stale_entry(self, study):
+        tid = study.enqueue(np.zeros(2))
+        study.claim("w", ttl=10.0, now=0.0)
+        study.tell(tid, "w", np.array([1.0, 2.0]))
+        assert study.reclaim_stale(now=11.0) == []
+        assert study.state.trials[tid].state == "complete"
+
+    def test_heap_survives_cold_replay(self, tmp_path):
+        storage = JournalStorage(tmp_path / "h.journal")
+        study = Study.create(storage, "s")
+        study.enqueue(np.zeros(2))
+        study.claim("w", ttl=10.0, now=0.0)
+        cold = Study.load(JournalStorage(tmp_path / "h.journal"), "s")
+        assert cold.reclaim_stale(now=11.0) == [(0, "pending")]
+        storage.close()
+
+
+class TestSQLiteSharedConnection:
+    """One connection per (process, database) with cached prepared
+    statements -- and no lock-contention pathologies under threads."""
+
+    def test_same_process_handles_share_connection(self, tmp_path):
+        a = SQLiteStorage(tmp_path / "s.db")
+        b = SQLiteStorage(tmp_path / "s.db")
+        assert a._record().conn is b._record().conn
+        a.append([{"op": "x"}])
+        assert [op["op"] for _, op in b.read(0)] == ["x"]
+        a.close()
+        # Still usable through b after a closed (refcounted registry).
+        b.append([{"op": "y"}])
+        assert len(b.read(0)) == 2
+        b.close()
+
+    def test_threaded_contention_regression(self, tmp_path):
+        """6 threads x 30 compound ops on one shared database finish
+        quickly and exactly -- the regression that motivated the shared
+        connection was 'database is locked' stalls between handles."""
+        import threading
+        import time as _time
+
+        storage = SQLiteStorage(tmp_path / "s.db", group_commit=True)
+        study = Study.create(storage, "s")
+        study.enqueue_many([np.zeros(2)] * 180)
+        errors: list[Exception] = []
+
+        def work(i):
+            try:
+                for _ in range(30):
+                    r = study.claim(f"w{i}", ttl=60.0)
+                    if r is not None:
+                        study.tell(
+                            r.trial_id, f"w{i}",
+                            np.array([float(r.trial_id), 1.0]),
+                        )
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        t0 = _time.monotonic()
+        ts = [threading.Thread(target=work, args=(i,)) for i in range(6)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        elapsed = _time.monotonic() - t0
+        assert not errors
+        assert study.state.completed == 180
+        # Generous wall-clock bound: contention stalls blow way past it.
+        assert elapsed < 30.0
+        storage.close()

@@ -448,3 +448,125 @@ class TestOverhead:
         # Assert a generous 25% envelope so the test is not flaky while
         # still catching an accidentally-unconditional emission path.
         assert timed <= base * 1.25
+
+
+# ---------------------------------------------------------------------------
+# Traffic-layer satellites: bus under concurrent publishers, tailer
+# across group-committed flush boundaries
+# ---------------------------------------------------------------------------
+class TestEventBusConcurrentPublishers:
+    def test_stream_drop_oldest_under_concurrent_publishers(self):
+        """Many publisher threads against one bounded stream: no event
+        is lost silently -- everything is either drained or counted in
+        ``dropped`` -- and the queue never exceeds its bound."""
+        import threading
+
+        bus = EventBus()
+        n_threads, per_thread = 4, 200
+        barrier = threading.Barrier(n_threads)
+
+        def publisher(tid: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                bus.emit(ev.EVAL_FINISHED, trial=tid * per_thread + i)
+
+        with bus.stream(maxsize=8) as sub:
+            threads = [
+                threading.Thread(target=publisher, args=(t,))
+                for t in range(n_threads)
+            ]
+            drained = []
+            for t in threads:
+                t.start()
+            # Drain concurrently with the publishers, then once more
+            # after they finish to empty the queue.
+            while any(t.is_alive() for t in threads):
+                drained.extend(sub.drain())
+            for t in threads:
+                t.join()
+            drained.extend(sub.drain())
+
+            total = n_threads * per_thread
+            assert bus.published == total
+            # Conservation: every published event was either delivered
+            # or explicitly dropped (drop-oldest), never both or neither.
+            assert len(drained) + sub.dropped == total
+            assert sub.dropped > 0  # the bound actually bit
+            trials = [e.data["trial"] for e in drained]
+            assert len(set(trials)) == len(trials)  # no duplicates
+            # Drop-oldest within each publisher: the survivors of any
+            # one thread's events arrive in publish order.
+            for tid in range(n_threads):
+                mine = [
+                    x for x in trials
+                    if tid * per_thread <= x < (tid + 1) * per_thread
+                ]
+                assert mine == sorted(mine)
+
+
+class TestTailerGroupCommitResume:
+    def test_from_seq_resume_across_group_committed_flush(self, tmp_path):
+        """Resume a tailer from a seq that lands *inside* a flush that
+        group-committed several records in one write + fsync."""
+        import threading
+
+        from repro.storage import JournalStorage
+
+        path = tmp_path / "s.journal"
+        storage = JournalStorage(
+            path, group_commit=True, flush_interval=0.002, max_batch=64
+        )
+        Study.create(storage, "s", meta={"seed": 1})
+        study = Study.load(storage, "s")
+        study.enqueue_many([np.zeros(11)] * 4)
+        records = study.claim_many("w", ttl=600.0, limit=4)
+
+        # Concurrent tells coalesce into shared flushes; the long
+        # linger (2ms) makes multi-record flushes all but certain.
+        barrier = threading.Barrier(4)
+
+        def teller(record):
+            barrier.wait()
+            study.tell(
+                record.trial_id, "w",
+                np.array([float(record.trial_id), 1.0]),
+            )
+
+        threads = [
+            threading.Thread(target=teller, args=(r,)) for r in records
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = storage.flush_stats()
+        assert stats["flushes"] < stats["commits"], (
+            "tells did not coalesce; flush boundary not exercised"
+        )
+
+        reader = JournalStorage(path)
+        full = JournalTailer(reader, study="s").poll()
+        tell_seqs = sorted(
+            e.seq for e in full if e.kind == ev.EVAL_FINISHED
+        )
+        assert len(tell_seqs) == 4
+        # Resume from the second tell: inside the group-committed
+        # region, after at least one record of the same flush window.
+        mid = tell_seqs[1]
+        resumed = JournalTailer(
+            JournalStorage(path), study="s", from_seq=mid
+        ).poll()
+        assert resumed[0].seq == mid
+        assert {e.seq for e in resumed} == {
+            e.seq for e in full if e.seq >= mid
+        }
+        assert [e.seq for e in resumed] == sorted(
+            e.seq for e in resumed
+        )
+        # The resumed fold still sees the tells at/after the boundary.
+        finished = [
+            e for e in resumed if e.kind == ev.EVAL_FINISHED
+        ]
+        assert len(finished) == 3
+        reader.close()
+        storage.close()

@@ -135,6 +135,10 @@ class TestEndpoints:
         assert payload["counts"]["complete"] == MAX_NFE
         assert payload["meta"]["problem"] == "dtlz2"
         assert payload["trajectory"]
+        # Traffic-layer counters ride along: this reader's backend op
+        # traffic plus the backend's group-commit telemetry.
+        assert payload["storage"]["read_calls"] >= 1
+        assert "group_commit" in payload["storage"]["flush"]
 
     def test_metrics_defaults_to_first_study(self, server):
         status, payload = _get_json(server, "/api/metrics")
